@@ -1,0 +1,61 @@
+// Command costopt searches hardware tiers for the cheapest Raft fleet
+// meeting a reliability target — the paper's spot-instance economics.
+//
+// Usage:
+//
+//	costopt -target 3.5
+//	costopt -target 4 -max 15 -mixed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+func main() {
+	var (
+		target = flag.Float64("target", 3.5, "required nines of safe-and-live reliability")
+		maxN   = flag.Int("max", 11, "maximum fleet size")
+		mixed  = flag.Bool("mixed", false, "allow two-tier mixed fleets")
+		carbon = flag.Bool("carbon", false, "minimise carbon instead of dollars")
+	)
+	flag.Parse()
+
+	tiers := []cost.Tier{
+		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
+		{Name: "spot", PricePerHour: 0.10, Profile: faultcurve.Crash(0.08), CarbonPerHour: 8},
+		{Name: "refurb", PricePerHour: 0.25, Profile: faultcurve.Crash(0.04), CarbonPerHour: 3},
+	}
+	obj := cost.MinimizePrice
+	if *carbon {
+		obj = cost.MinimizeCarbon
+	}
+	o := cost.Optimizer{Tiers: tiers, MaxNodes: *maxN, Objective: obj}
+
+	fmt.Printf("target: %.2f nines (S&L >= %s), tiers:\n", *target, dist.FormatPercent(dist.FromNines(*target), 2))
+	for _, t := range tiers {
+		fmt.Printf("  %-10s $%.2f/h  carbon %.0f  p_u=%.3g\n", t.Name, t.PricePerHour, t.CarbonPerHour, t.Profile.PFail())
+	}
+
+	var (
+		plan cost.Plan
+		err  error
+	)
+	if *mixed {
+		plan, err = o.CheapestMixed(*target)
+	} else {
+		plan, err = o.CheapestSingleTier(*target)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costopt:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nbest plan: %v\n", plan)
+	fmt.Printf("  %.2f nines, $%.3f/h, carbon %.1f/h\n",
+		plan.Result.Nines(), plan.PricePerHour(), plan.CarbonPerHour())
+}

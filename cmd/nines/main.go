@@ -1,0 +1,121 @@
+// Command nines computes probabilistic safety/liveness guarantees for
+// consensus deployments and regenerates the paper's tables.
+//
+// Usage:
+//
+//	nines -tables                 # print Table 1 and Table 2
+//	nines -protocol raft -n 5 -p 0.02
+//	nines -protocol pbft -n 7 -p 0.01
+//	nines -protocol raft -n 7 -p 0.08 -upgrade 3 -upgrade-p 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func main() {
+	var (
+		tables   = flag.Bool("tables", false, "print the paper's Table 1 and Table 2")
+		sweep    = flag.Bool("sweep", false, "sweep quorum sizings and print the Pareto frontier")
+		protocol = flag.String("protocol", "raft", "raft or pbft")
+		n        = flag.Int("n", 3, "cluster size")
+		p        = flag.Float64("p", 0.01, "per-node fault probability")
+		upgrade  = flag.Int("upgrade", 0, "number of nodes upgraded to -upgrade-p (heterogeneous fleets)")
+		upgradeP = flag.Float64("upgrade-p", 0.01, "fault probability of upgraded nodes")
+	)
+	flag.Parse()
+
+	if *tables {
+		printTables()
+		return
+	}
+	if *sweep {
+		printSweep(*protocol, *n, *p)
+		return
+	}
+	switch *protocol {
+	case "raft":
+		fleet := core.UniformCrashFleet(*n, *p)
+		for i := 0; i < *upgrade && i < *n; i++ {
+			fleet[i].Profile.PCrash = *upgradeP
+		}
+		model := core.NewRaft(*n)
+		res, err := core.Analyze(fleet, model)
+		exitOn(err)
+		fmt.Printf("%s, p_u=%.4g (%d upgraded to %.4g)\n", model.Name(), *p, *upgrade, *upgradeP)
+		fmt.Printf("  %s\n  %.2f nines safe-and-live\n", res, res.Nines())
+	case "pbft":
+		f := (*n - 1) / 3
+		model := core.PBFT{NNodes: *n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+		res, err := core.Analyze(core.UniformByzFleet(*n, *p), model)
+		exitOn(err)
+		fmt.Printf("%s, p_u=%.4g\n  %s\n  %.2f nines safe-and-live\n", model.Name(), *p, res, res.Nines())
+	default:
+		exitOn(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+}
+
+func printTables() {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Table 1: PBFT reliability, uniform p_u = 1%")
+	fmt.Fprintln(w, "N\t|Qeq|\t|Qper|\t|Qvc|\t|Qvc_t|\tSafe\tLive\tSafe&Live")
+	for _, r := range core.Table1() {
+		m := r.Model
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			m.NNodes, m.QEq, m.QPer, m.QVC, m.QVCT,
+			dist.FormatPercent(r.Safe, 2), dist.FormatPercent(r.Live, 2),
+			dist.FormatPercent(r.SafeAndLive, 2))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Table 2: Raft reliability for uniform node failure p_u")
+	fmt.Fprintln(w, "N\t|Qper|\t|Qvc|\tS&L p=1%\tS&L p=2%\tS&L p=4%\tS&L p=8%")
+	for _, r := range core.Table2() {
+		fmt.Fprintf(w, "%d\t%d\t%d", r.Model.NNodes, r.Model.QPer, r.Model.QVC)
+		for _, cell := range core.FormatRow(r.SafeAndLive) {
+			fmt.Fprintf(w, "\t%s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+func printSweep(protocol string, n int, p float64) {
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	switch protocol {
+	case "raft":
+		sizings, err := core.SweepRaftQuorums(core.UniformCrashFleet(n, p), true)
+		exitOn(err)
+		fmt.Fprintf(w, "safe Raft sizings, N=%d p_u=%.4g\n", n, p)
+		fmt.Fprintln(w, "|Qper|\t|Qvc|\tSafe&Live\tnines")
+		for _, s := range sizings {
+			fmt.Fprintf(w, "%d\t%d\t%s\t%.2f\n", s.Model.QPer, s.Model.QVC,
+				dist.FormatPercent(s.Res.SafeAndLive, 2), s.Res.Nines())
+		}
+	case "pbft":
+		sweep, err := core.SweepPBFTQuorums(core.UniformByzFleet(n, p))
+		exitOn(err)
+		frontier := core.PBFTFrontier(sweep)
+		fmt.Fprintf(w, "PBFT safety/liveness Pareto frontier, N=%d p_u=%.4g\n", n, p)
+		fmt.Fprintln(w, "|Q|\t|Qvc_t|\tSafe\tLive")
+		for _, s := range frontier {
+			fmt.Fprintf(w, "%d\t%d\t%s\t%s\n", s.Model.QEq, s.Model.QVCT,
+				dist.FormatPercent(s.Res.Safe, 2), dist.FormatPercent(s.Res.Live, 2))
+		}
+	default:
+		exitOn(fmt.Errorf("unknown protocol %q", protocol))
+	}
+	w.Flush()
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nines:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,118 @@
+// Command probsim runs the discrete-event consensus simulator: a Raft or
+// PBFT cluster under fault injection driven by fault curves, reporting
+// observed safety and liveness against the analytical prediction.
+//
+// Usage:
+//
+//	probsim -protocol raft -n 5 -afr 0.3 -hours 8766 -ops 20 -seed 7
+//	probsim -protocol pbft -n 4 -silent 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+	"repro/internal/pbft"
+	"repro/internal/raft"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		protocol = flag.String("protocol", "raft", "raft or pbft")
+		n        = flag.Int("n", 5, "cluster size")
+		afr      = flag.Float64("afr", 0.3, "per-node annual failure rate for injected crashes (raft)")
+		hours    = flag.Float64("hours", 8766, "mission window in hours, compressed into the run")
+		ops      = flag.Int("ops", 20, "operations to drive")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		silent   = flag.Int("silent", 0, "Byzantine-silent nodes (pbft)")
+	)
+	flag.Parse()
+
+	switch *protocol {
+	case "raft":
+		runRaft(*n, *afr, *hours, *ops, *seed)
+	case "pbft":
+		runPBFT(*n, *silent, *ops, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "probsim: unknown protocol %q\n", *protocol)
+		os.Exit(1)
+	}
+}
+
+func runRaft(n int, afr, hours float64, ops int, seed int64) {
+	c, err := raft.NewCluster(raft.Config{N: n}, seed,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	exitOn(err)
+	c.Start()
+
+	// Sample crash times from the fault curve over the mission window and
+	// compress them into a 60-virtual-second run.
+	curves := make([]faultcurve.Curve, n)
+	for i := range curves {
+		curves[i] = faultcurve.FromAFR(afr)
+	}
+	window := sim.Time(hours * 3600 * float64(sim.Second))
+	faults := sim.SampleCrashTimes(curves, window, 0, c.Sched.RNG())
+	const horizon = 60 * sim.Second
+	for i := range faults {
+		faults[i].At = sim.Time(float64(faults[i].At) / float64(window) * float64(horizon-10*sim.Second))
+	}
+	sim.NewInjector(c.Net, c.Crashables()).Schedule(faults)
+
+	c.DriveWorkload(200*sim.Millisecond, 100*sim.Millisecond, ops)
+	c.RunFor(horizon)
+
+	fmt.Printf("raft N=%d afr=%.3g window=%.0fh seed=%d\n", n, afr, hours, seed)
+	fmt.Printf("  injected crashes: %d %v\n", len(faults), crashedIDs(faults))
+	safe := c.Rec.CheckAgreement() == nil
+	live := c.Rec.CommonPrefix(c.AliveCorrect()) >= ops
+	fmt.Printf("  observed: safe=%v live=%v (%s)\n", safe, live, c.Rec.Summary())
+
+	model := core.NewRaft(n)
+	fmt.Printf("  theorem 3.2 for this configuration: safe=%v live=%v\n",
+		model.Safe(len(faults), 0), model.Live(len(faults), 0))
+	p := faultcurve.FailProb(faultcurve.FromAFR(afr), 0, hours)
+	res := core.MustAnalyze(core.UniformCrashFleet(n, p), model)
+	fmt.Printf("  analytic over all configurations (p_u=%.4g): %s\n", p, res)
+}
+
+func runPBFT(n, silent, ops int, seed int64) {
+	behaviors := make([]pbft.Behavior, n)
+	for i := 0; i < silent && i < n; i++ {
+		behaviors[i] = pbft.Silent
+	}
+	c, err := pbft.NewCluster(pbft.Config{N: n}, behaviors, seed,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	exitOn(err)
+	c.Start()
+	c.DriveWorkload(10*sim.Millisecond, 100*sim.Millisecond, ops)
+	c.RunFor(120 * sim.Second)
+
+	fmt.Printf("pbft N=%d silent=%d seed=%d\n", n, silent, seed)
+	safe := c.Rec.CheckAgreement() == nil
+	live := c.CommittedEverywhere() >= ops
+	fmt.Printf("  observed: safe=%v live=%v (%s)\n", safe, live, c.Rec.Summary())
+	f := (n - 1) / 3
+	model := core.PBFT{NNodes: n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+	fmt.Printf("  theorem 3.1 for this configuration: safe=%v live=%v\n",
+		model.Safe(0, silent), model.Live(0, silent))
+}
+
+func crashedIDs(faults []sim.Fault) []int {
+	ids := make([]int, len(faults))
+	for i, f := range faults {
+		ids[i] = f.Node
+	}
+	return ids
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probsim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Spotfleet: the paper's §1 economics — buy reliability with cheap,
+// unreliable nodes (experiment E2).
+//
+// A 3-node fleet of dedicated instances (p_u = 1%) and a 9-node fleet of
+// spot instances (p_u = 8%, 10x cheaper) deliver the same 99.97%
+// safe-and-live guarantee; the spot fleet costs 3x less. The cost optimizer
+// then searches the whole tier catalogue for arbitrary targets.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+func main() {
+	e2 := core.ExperimentE2(10)
+	fmt.Println("E2: larger networks of less reliable nodes can help")
+	fmt.Printf("  3 x dedicated (p=1%%):  S&L %s\n", dist.FormatPercent(e2.Small.SafeAndLive, 2))
+	fmt.Printf("  9 x spot      (p=8%%):  S&L %s\n", dist.FormatPercent(e2.Large.SafeAndLive, 2))
+	fmt.Printf("  spot 10x cheaper => fleet cost ratio %.2fx in favour of spot\n\n", e2.CostRatio)
+
+	tiers := []cost.Tier{
+		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
+		{Name: "spot", PricePerHour: 0.10, Profile: faultcurve.Crash(0.08), CarbonPerHour: 8},
+		{Name: "refurb", PricePerHour: 0.25, Profile: faultcurve.Crash(0.04), CarbonPerHour: 3},
+	}
+	o := cost.Optimizer{Tiers: tiers, MaxNodes: 13}
+
+	fmt.Println("cheapest plan per reliability target:")
+	for _, target := range []float64{2.5, 3.0, 3.5, 4.0, 4.5} {
+		single, errS := o.CheapestSingleTier(target)
+		mixed, errM := o.CheapestMixed(target)
+		fmt.Printf("  %.1f nines:", target)
+		if errS == nil {
+			fmt.Printf("  single %-38v", single)
+		} else {
+			fmt.Printf("  single: %v", errS)
+		}
+		if errM == nil {
+			fmt.Printf("  mixed %v", mixed)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nspot-tier reliability/price frontier (majority Raft):")
+	for _, pt := range o.Frontier(tiers[1]) {
+		if pt.N%2 == 1 {
+			fmt.Printf("  N=%2d  $%.2f/h  %.2f nines\n", pt.N, pt.PricePerHour, pt.Nines)
+		}
+	}
+
+	// Sustainability variant: same targets, minimise carbon.
+	green := cost.Optimizer{Tiers: tiers, MaxNodes: 13, Objective: cost.MinimizeCarbon}
+	plan, err := green.CheapestMixed(3.5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nlowest-carbon plan at 3.5 nines: %v (carbon %.1f/h)\n", plan, plan.CarbonPerHour())
+}

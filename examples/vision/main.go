@@ -1,0 +1,154 @@
+// Vision: the probability-native toolbox of §4 working together —
+// dynamic quorum sizing, quorum-system metrics, a probabilistic failure
+// detector, preemptive reconfiguration over an aging fleet, and Ben-Or's
+// quorum-light randomized consensus.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/benor"
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+	"repro/internal/planner"
+	"repro/internal/quorum"
+	"repro/internal/sim"
+)
+
+func main() {
+	dynamicQuorums()
+	quorumShootout()
+	failureDetector()
+	preemptivePlanning()
+	quorumlessConsensus()
+}
+
+func dynamicQuorums() {
+	fmt.Println("— dynamic quorum sizing (§4: choose sizes so they overlap with high probability)")
+	fleet := core.UniformByzFleet(7, 0.01)
+	frontier := core.PBFTFrontier(mustSweep(fleet))
+	fmt.Println("  PBFT N=7 p=1% safety/liveness Pareto frontier:")
+	for _, s := range frontier {
+		fmt.Printf("    q=%d qt=%d: safe %-11s live %s\n",
+			s.Model.QEq, s.Model.QVCT,
+			dist.FormatPercent(s.Res.Safe, 2), dist.FormatPercent(s.Res.Live, 2))
+	}
+	best, err := core.BestPBFTSizingForSafety(fleet, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  liveliest sizing with >=5 nines of safety: q=%d qt=%d (live %s)\n\n",
+		best.Model.QEq, best.Model.QVCT, dist.FormatPercent(best.Res.Live, 2))
+}
+
+func mustSweep(fleet core.Fleet) []core.PBFTSizing {
+	s, err := core.SweepPBFTQuorums(fleet)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func quorumShootout() {
+	fmt.Println("— quorum-system metrics (load vs availability, heterogeneous p_u)")
+	g, err := quorum.NewGrid(3, 3)
+	if err != nil {
+		panic(err)
+	}
+	probs := make([]float64, 9)
+	for i := range probs {
+		probs[i] = 0.02 + 0.01*float64(i%3)
+	}
+	metrics, err := quorum.Evaluate([]quorum.System{
+		quorum.Majority(9), quorum.Threshold{Nodes: 9, K: 7}, g,
+	}, probs)
+	if err != nil {
+		panic(err)
+	}
+	for _, m := range metrics {
+		fmt.Printf("  %-22s minQ=%d  load=%.3f  availability=%s\n",
+			m.Name, m.MinQuorum, m.Load, dist.FormatPercent(m.Availability, 2))
+	}
+	fmt.Println()
+}
+
+func failureDetector() {
+	fmt.Println("— probabilistic failure detection (phi-accrual + fault-curve prior)")
+	mon, err := detector.NewMonitor(3, 64, []float64{0.01, 0.01, 0.30})
+	if err != nil {
+		panic(err)
+	}
+	// Heartbeats with realistic jitter (alternating 0.7s/1.3s gaps), then
+	// node 2 goes silent.
+	for i := 0; i < 60; i++ {
+		t := float64(i) + 0.15*float64(i%2)
+		mon.Heartbeat(0, t)
+		mon.Heartbeat(1, t)
+		if i < 57 {
+			mon.Heartbeat(2, t)
+		}
+	}
+	now := 60.5
+	for i := 0; i < 3; i++ {
+		fmt.Printf("  node %d: phi=%.2f  P[crashed]=%.4f\n",
+			i, mon.Phi(i, now), mon.SuspectProb(i, now))
+	}
+	fmt.Printf("  most suspect: node %d (its prior was already 30%%)\n\n", mon.MostSuspect(now, 0))
+}
+
+func preemptivePlanning() {
+	fmt.Println("— preemptive reconfiguration (§4: predictive models)")
+	wearOut := faultcurve.Bathtub{
+		Infancy: faultcurve.Weibull{Shape: 0.7, Scale: 5e6},
+		Floor:   faultcurve.FromAFR(0.01),
+		WearOut: faultcurve.Weibull{Shape: 6, Scale: 5 * faultcurve.HoursPerYear},
+	}
+	nodes := make([]planner.TrackedNode, 5)
+	for i := range nodes {
+		nodes[i] = planner.TrackedNode{
+			Name: fmt.Sprintf("disk-%d", i), Curve: wearOut,
+			Age: float64(2+i/2) * faultcurve.HoursPerYear,
+		}
+	}
+	sched, err := planner.Advise(planner.Plan{
+		Nodes: nodes, Model: core.NewRaft(5), TargetNines: 3,
+		Window: faultcurve.HoursPerYear / 12, Epoch: faultcurve.HoursPerYear / 4,
+		Horizon: 6 * faultcurve.HoursPerYear, ReplacementCurve: faultcurve.FromAFR(0.01),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  6-year horizon, quarterly reviews: %d replacements keep the fleet at >= %.2f nines\n",
+		len(sched.Actions), sched.MinNines)
+	for i, a := range sched.Actions {
+		if i >= 4 {
+			fmt.Printf("    ... %d more\n", len(sched.Actions)-4)
+			break
+		}
+		fmt.Printf("    t=%4.1fy replace %s (window p had reached %.3f)\n",
+			a.At/faultcurve.HoursPerYear, a.Name, a.NodeProb)
+	}
+	fmt.Println()
+}
+
+func quorumlessConsensus() {
+	fmt.Println("— Ben-Or randomized consensus (§4: beyond quorums)")
+	initial := []benor.Value{benor.Zero, benor.One, benor.Zero, benor.One, benor.One, benor.Zero, benor.One}
+	c, err := benor.NewCluster(benor.Config{N: 7, F: 3}, initial, 11,
+		sim.UniformDelay{Min: sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	if err != nil {
+		panic(err)
+	}
+	c.Start()
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	inj.CrashSet([]int{0, 3, 6}) // F crashes from the start
+	c.RunFor(60 * sim.Second)
+	v, count, err := c.Agreement()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  N=7 F=3 with 3 crashed, mixed inputs: %d survivors decided %v in <= %d rounds\n",
+		count, v, c.MaxRound())
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+	"repro/internal/quorum"
+)
+
+// Result carries the probabilistic guarantees of one deployment: the
+// probabilities that the deployment is safe, live, and both — the three
+// percentage columns of Table 1 (Table 2 reports only SafeAndLive because
+// majority-quorum Raft is safe in every crash configuration).
+type Result struct {
+	Safe        float64
+	Live        float64
+	SafeAndLive float64
+}
+
+// Nines returns the safe-and-live probability as nines of reliability.
+func (r Result) Nines() float64 { return dist.Nines(r.SafeAndLive) }
+
+// String renders in the paper's percent style.
+func (r Result) String() string {
+	return fmt.Sprintf("safe %s, live %s, safe&live %s",
+		dist.FormatPercent(r.Safe, 2), dist.FormatPercent(r.Live, 2),
+		dist.FormatPercent(r.SafeAndLive, 2))
+}
+
+// Analyze computes the exact Result for a fleet under a count-based
+// protocol model using the joint (#crashed, #Byzantine) distribution.
+// Cost is O(N^3); exact for heterogeneous fleets of any composition.
+func Analyze(fleet Fleet, m CountModel) (Result, error) {
+	if len(fleet) != m.N() {
+		return Result{}, fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
+	}
+	if err := fleet.Validate(); err != nil {
+		return Result{}, err
+	}
+	joint := dist.NewJointCrashByz(faultcurve.TriStates(fleet.Profiles()))
+	res := Result{
+		Safe:        joint.SumWhere(m.Safe),
+		Live:        joint.SumWhere(m.Live),
+		SafeAndLive: joint.SumWhere(func(c, b int) bool { return m.Safe(c, b) && m.Live(c, b) }),
+	}
+	return res, nil
+}
+
+// MustAnalyze is Analyze for statically correct inputs (tables, benches);
+// it panics on error.
+func MustAnalyze(fleet Fleet, m CountModel) Result {
+	r, err := Analyze(fleet, m)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// SetPredicate decides a property from the identity of faulty nodes, not
+// just their count. It enables reliability-aware analyses (experiment E3)
+// and arbitrary quorum-system predicates.
+type SetPredicate func(crashed, byz quorum.Set) bool
+
+// EnumerateConfigs visits every failure configuration of the fleet — each
+// node correct, crashed, or Byzantine — together with its probability.
+// 3^N configurations: practical for N <= 16, and the ground truth the other
+// engines are validated against.
+func EnumerateConfigs(fleet Fleet, visit func(crashed, byz quorum.Set, prob float64)) error {
+	if err := fleet.Validate(); err != nil {
+		return err
+	}
+	n := len(fleet)
+	if n > 20 {
+		return fmt.Errorf("core: EnumerateConfigs is 3^N; N=%d too large (max 20)", n)
+	}
+	crashed := quorum.NewSet(n)
+	byz := quorum.NewSet(n)
+	var rec func(i int, prob float64)
+	rec = func(i int, prob float64) {
+		if prob == 0 {
+			return
+		}
+		if i == n {
+			visit(crashed, byz, prob)
+			return
+		}
+		p := fleet[i].Profile
+		rec(i+1, prob*p.TriState().PCorrect())
+		crashed.Add(i)
+		rec(i+1, prob*p.PCrash)
+		crashed.Remove(i)
+		byz.Add(i)
+		rec(i+1, prob*p.PByz)
+		byz.Remove(i)
+	}
+	rec(0, 1)
+	return nil
+}
+
+// AnalyzeSet computes exact probabilities for set-valued safety and
+// liveness predicates by full enumeration.
+func AnalyzeSet(fleet Fleet, safe, live SetPredicate) (Result, error) {
+	var sSafe, sLive, sBoth dist.KahanSum
+	err := EnumerateConfigs(fleet, func(crashed, byz quorum.Set, prob float64) {
+		s := safe(crashed, byz)
+		l := live(crashed, byz)
+		if s {
+			sSafe.Add(prob)
+		}
+		if l {
+			sLive.Add(prob)
+		}
+		if s && l {
+			sBoth.Add(prob)
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Safe:        dist.Clamp01(sSafe.Sum()),
+		Live:        dist.Clamp01(sLive.Sum()),
+		SafeAndLive: dist.Clamp01(sBoth.Sum()),
+	}, nil
+}
+
+// CountPredicates adapts a CountModel to set predicates, for
+// cross-validation of the enumeration engine against the DP engine.
+func CountPredicates(m CountModel) (safe, live SetPredicate) {
+	safe = func(crashed, byz quorum.Set) bool { return m.Safe(crashed.Count(), byz.Count()) }
+	live = func(crashed, byz quorum.Set) bool { return m.Live(crashed.Count(), byz.Count()) }
+	return safe, live
+}
+
+// MCResult is a Monte-Carlo estimate with sampling error.
+type MCResult struct {
+	Result
+	Samples int
+	// CI95 half-widths (Wilson) for each probability.
+	SafeLo, SafeHi float64
+	LiveLo, LiveHi float64
+	BothLo, BothHi float64
+}
+
+// AnalyzeMonteCarlo estimates the Result by sampling failure
+// configurations. It works for any fleet size and — unlike the exact
+// engines — composes with arbitrary sampling processes; it is also the
+// validation oracle for the correlated-fault analyses.
+func AnalyzeMonteCarlo(fleet Fleet, m CountModel, samples int, seed int64) (MCResult, error) {
+	if len(fleet) != m.N() {
+		return MCResult{}, fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
+	}
+	if err := fleet.Validate(); err != nil {
+		return MCResult{}, err
+	}
+	if samples <= 0 {
+		return MCResult{}, fmt.Errorf("core: need samples > 0, got %d", samples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var nSafe, nLive, nBoth int
+	for s := 0; s < samples; s++ {
+		var crashed, byzCount int
+		for _, node := range fleet {
+			u := rng.Float64()
+			switch {
+			case u < node.Profile.PCrash:
+				crashed++
+			case u < node.Profile.PCrash+node.Profile.PByz:
+				byzCount++
+			}
+		}
+		sOK := m.Safe(crashed, byzCount)
+		lOK := m.Live(crashed, byzCount)
+		if sOK {
+			nSafe++
+		}
+		if lOK {
+			nLive++
+		}
+		if sOK && lOK {
+			nBoth++
+		}
+	}
+	out := MCResult{
+		Result: Result{
+			Safe:        float64(nSafe) / float64(samples),
+			Live:        float64(nLive) / float64(samples),
+			SafeAndLive: float64(nBoth) / float64(samples),
+		},
+		Samples: samples,
+	}
+	out.SafeLo, out.SafeHi = dist.WilsonInterval(nSafe, samples, 1.96)
+	out.LiveLo, out.LiveHi = dist.WilsonInterval(nLive, samples, 1.96)
+	out.BothLo, out.BothHi = dist.WilsonInterval(nBoth, samples, 1.96)
+	return out, nil
+}
+
+// AnalyzeWithShock computes the exact Result under a common-cause shock
+// (§2(3)): the shock-weighted mixture of the base analysis and the analysis
+// of the elevated fleet. Faults stay conditionally independent given the
+// shock, so both branches use the exact engine.
+func AnalyzeWithShock(fleet Fleet, m CountModel, shock faultcurve.CommonCause) (Result, error) {
+	base, err := Analyze(fleet, m)
+	if err != nil {
+		return Result{}, err
+	}
+	elevatedProfiles := shock.Elevated(fleet.Profiles())
+	elevated := make(Fleet, len(fleet))
+	for i, n := range fleet {
+		n.Profile = elevatedProfiles[i]
+		elevated[i] = n
+	}
+	up, err := Analyze(elevated, m)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Safe:        shock.Mix(base.Safe, up.Safe),
+		Live:        shock.Mix(base.Live, up.Live),
+		SafeAndLive: shock.Mix(base.SafeAndLive, up.SafeAndLive),
+	}, nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"repro/internal/faultcurve"
+	"repro/internal/quorum"
+)
+
+// This file packages the paper's five quantitative in-text analyses
+// (experiments E1-E5 in DESIGN.md) as first-class library calls, so the
+// benchmark harness, the CLI, and EXPERIMENTS.md all regenerate them from
+// one implementation.
+
+// E1 is "Consensus is probabilistic, like it or not": the reliability of
+// the canonical three-node Raft deployment at p_u = 1%.
+type E1 struct {
+	Result Result // paper: 99.97% safe and live — three nines, not 100%
+}
+
+// ExperimentE1 computes E1.
+func ExperimentE1() E1 {
+	return E1{Result: MustAnalyze(UniformCrashFleet(3, 0.01), NewRaft(3))}
+}
+
+// E2 is "Larger networks of less reliable nodes can help": a nine-node
+// Raft fleet of p_u = 8% nodes matches the three-node p_u = 1% fleet, and
+// if unreliable nodes are 10x cheaper the dollar cost drops ~3x.
+type E2 struct {
+	Small      Result  // N=3, p=1%
+	Large      Result  // N=9, p=8%
+	PriceRatio float64 // reliable price / cheap price (paper: 10)
+	CostRatio  float64 // small-fleet cost / large-fleet cost (paper: ~3x)
+}
+
+// ExperimentE2 computes E2 with the given price ratio between reliable and
+// cheap nodes (the paper's spot-instance story uses 10).
+func ExperimentE2(priceRatio float64) E2 {
+	small := MustAnalyze(UniformCrashFleet(3, 0.01), NewRaft(3))
+	large := MustAnalyze(UniformCrashFleet(9, 0.08), NewRaft(9))
+	// 3 nodes at priceRatio vs 9 nodes at 1.
+	costRatio := (3 * priceRatio) / 9
+	return E2{Small: small, Large: large, PriceRatio: priceRatio, CostRatio: costRatio}
+}
+
+// E3 is "Raft and PBFT underutilize reliable nodes": a seven-node cluster
+// of p_u = 8% nodes, then three nodes upgraded to p_u = 1%, then a
+// reliability-aware persistence quorum that must include one upgraded node.
+type E3 struct {
+	AllUnreliable Result // N=7 all 8% (paper: 99.88%)
+	Mixed         Result // 3x1% + 4x8% (paper: ~99.98%)
+	// Durability of the most recent persistence quorum (|Qper| = 4) under
+	// three placement policies in the mixed fleet:
+	ObliviousWorst  float64 // quorum lands on the 4 unreliable nodes
+	ObliviousAvg    float64 // quorum chosen uniformly at random
+	AwareWorstCase  float64 // >=1 reliable node required (worst placement)
+	AwareBest       float64 // quorum steered to the 4 most reliable nodes
+	ReliableUpgrade int     // how many nodes were upgraded (3)
+}
+
+// ExperimentE3 computes E3.
+func ExperimentE3() E3 {
+	const n, q = 7, 4
+	unreliable := UniformCrashFleet(n, 0.08)
+	mixed := UniformCrashFleet(n, 0.08)
+	reliable := quorum.NewSet(n)
+	for i := 0; i < 3; i++ {
+		mixed[i].Profile.PCrash = 0.01
+		reliable.Add(i)
+	}
+	all := MustAnalyze(unreliable, NewRaft(n))
+	mix := MustAnalyze(mixed, NewRaft(n))
+
+	worst, err := WorstQuorumDurability(q, mixed)
+	if err != nil {
+		panic(err)
+	}
+	avg, err := AverageRandomQuorumDurability(q, mixed)
+	if err != nil {
+		panic(err)
+	}
+	aware, err := ReliabilityAwareDurability(q, mixed, reliable, 1)
+	if err != nil {
+		panic(err)
+	}
+	best, err := BestQuorumDurability(q, mixed)
+	if err != nil {
+		panic(err)
+	}
+	return E3{
+		AllUnreliable:   all,
+		Mixed:           mix,
+		ObliviousWorst:  worst,
+		ObliviousAvg:    avg,
+		AwareWorstCase:  aware,
+		AwareBest:       best,
+		ReliableUpgrade: 3,
+	}
+}
+
+// E4 is "There is a hidden exploitable trade-off between safety and
+// liveness": PBFT with 5 nodes vs 4 nodes (both f=1) and vs 7 nodes (f=2).
+type E4 struct {
+	FourNode  Result
+	FiveNode  Result
+	SevenNode Result
+	// SafetyImprovement is the ratio of unsafety odds 4-node/5-node
+	// (paper: 42-60x).
+	SafetyImprovement float64
+	// LivenessDecrease is the ratio of unliveness odds 5-node/4-node
+	// (paper: ~1.67x).
+	LivenessDecrease float64
+	// FiveSaferThanSeven reports the paper's punchline: the 5-node system
+	// is safer than the 40%-more-expensive 7-node system.
+	FiveSaferThanSeven bool
+}
+
+// ExperimentE4 computes E4 at the Table 1 failure probability p_u = 1%.
+func ExperimentE4() E4 {
+	cfgs := Table1Configs()
+	four := MustAnalyze(UniformByzFleet(4, 0.01), cfgs[0])
+	five := MustAnalyze(UniformByzFleet(5, 0.01), cfgs[1])
+	seven := MustAnalyze(UniformByzFleet(7, 0.01), cfgs[2])
+	return E4{
+		FourNode:           four,
+		FiveNode:           five,
+		SevenNode:          seven,
+		SafetyImprovement:  (1 - four.Safe) / (1 - five.Safe),
+		LivenessDecrease:   (1 - five.Live) / (1 - four.Live),
+		FiveSaferThanSeven: five.Safe > seven.Safe,
+	}
+}
+
+// E5 is "Linear size quorums can be overkill" plus §4's closing example:
+// probabilistic quorums at N = 100.
+type E5 struct {
+	// TriggerQuorumCorrect: probability a 5-node sample includes >=1
+	// correct node at p_u = 1% (paper: ten nines), vs the f+1 = 34-node
+	// quorum the f-threshold model demands at N = 100.
+	TriggerQuorumCorrect float64
+	FThresholdTrigger    int
+	SampledTrigger       int
+	// AnyQperFaults: probability that >= |Qper| = 10 of 100 nodes fail at
+	// p_u = 10% (paper: ~50%).
+	AnyQperFaults float64
+	// TargetedLoss: probability a specific 10-node persistence quorum is
+	// exactly wiped out (paper: one in ten billion).
+	TargetedLoss float64
+}
+
+// ExperimentE5 computes E5.
+func ExperimentE5() E5 {
+	anyK, loss := quorum.TargetedLossProb(100, 10, 0.10)
+	return E5{
+		TriggerQuorumCorrect: quorum.ProbContainsCorrect(5, 0.01),
+		FThresholdTrigger:    34, // f+1 with N=100, f=33
+		SampledTrigger:       5,
+		AnyQperFaults:        anyK,
+		TargetedLoss:         loss,
+	}
+}
+
+// MixedFaults is §2(4)'s observation quantified: "most nodes fail by
+// crashing but from time to time exhibit malicious behavior" — Google's
+// corruption-execution errors are ~0.01% vs a ~4% crash AFR. Under a
+// tri-state profile, what do CFT and BFT protocols actually deliver?
+// Raft is cheap but its safety is exposed to the (rare) Byzantine slice;
+// PBFT pays more replicas to be immune to it.
+type MixedFaults struct {
+	Profile    faultcurve.Profile
+	RaftN      int
+	PBFTn      int
+	RaftRes    Result // includes the Byzantine exposure in Safe
+	PBFTRes    Result
+	RaftUnsafe float64 // probability some Byzantine node voids Raft safety
+}
+
+// ExperimentMixedFaults analyses a Google-like profile (pCrash = 4%,
+// pByz = 0.01%) on a 3-node Raft cluster and a 4-node PBFT cluster.
+func ExperimentMixedFaults() MixedFaults {
+	profile := faultcurve.Profile{PCrash: 0.04, PByz: 0.0001}
+	mkFleet := func(n int) Fleet {
+		f := make(Fleet, n)
+		for i := range f {
+			f[i] = Node{Profile: profile}
+		}
+		return f
+	}
+	raftRes := MustAnalyze(mkFleet(3), NewRaft(3))
+	pbftRes := MustAnalyze(mkFleet(4), NewPBFT(1))
+	return MixedFaults{
+		Profile:    profile,
+		RaftN:      3,
+		PBFTn:      4,
+		RaftRes:    raftRes,
+		PBFTRes:    pbftRes,
+		RaftUnsafe: 1 - raftRes.Safe,
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// This file implements §4's first probability-native step: "we can choose
+// quorum sizes dynamically such that they overlap with high probability" —
+// concretely, sweep every quorum sizing that preserves the safety
+// invariants and pick the one with the best liveness (or expose the whole
+// frontier so an operator can trade the two, generalising experiment E4).
+
+// RaftSizing is one point of the Raft quorum-sizing sweep.
+type RaftSizing struct {
+	Model Raft
+	Res   Result
+}
+
+// SweepRaftQuorums evaluates every (QPer, QVC) pair for the fleet. If
+// safeOnly is set, only sizings satisfying Theorem 3.2's safety conditions
+// are returned (the ones a CFT deployment may actually use); otherwise the
+// full grid is returned for analysis.
+func SweepRaftQuorums(fleet Fleet, safeOnly bool) ([]RaftSizing, error) {
+	n := len(fleet)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty fleet")
+	}
+	var out []RaftSizing
+	for qper := 1; qper <= n; qper++ {
+		for qvc := 1; qvc <= n; qvc++ {
+			m := Raft{NNodes: n, QPer: qper, QVC: qvc}
+			if safeOnly && !m.QuorumsSafe() {
+				continue
+			}
+			res, err := Analyze(fleet, m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, RaftSizing{Model: m, Res: res})
+		}
+	}
+	return out, nil
+}
+
+// BestRaftSizing returns the safe sizing with the highest safe-and-live
+// probability. With a uniform fleet this recovers majority quorums; with a
+// heterogeneous fleet it can justify asymmetric sizings (small election
+// quorum, large persistence quorum or vice versa).
+func BestRaftSizing(fleet Fleet) (RaftSizing, error) {
+	sizings, err := SweepRaftQuorums(fleet, true)
+	if err != nil {
+		return RaftSizing{}, err
+	}
+	if len(sizings) == 0 {
+		return RaftSizing{}, fmt.Errorf("core: no safe sizing exists for N=%d", len(fleet))
+	}
+	best := sizings[0]
+	for _, s := range sizings[1:] {
+		if s.Res.SafeAndLive > best.Res.SafeAndLive {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// PBFTSizing is one point of the PBFT quorum-sizing sweep.
+type PBFTSizing struct {
+	Model PBFT
+	Res   Result
+}
+
+// SweepPBFTQuorums evaluates symmetric PBFT sizings (QEq = QPer = QVC = q)
+// against all trigger sizes for the fleet, returning every point. The E4
+// analysis is the N∈{4,5,7} slice of this sweep.
+func SweepPBFTQuorums(fleet Fleet) ([]PBFTSizing, error) {
+	n := len(fleet)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty fleet")
+	}
+	var out []PBFTSizing
+	for q := 1; q <= n; q++ {
+		for qt := 1; qt <= q; qt++ {
+			m := PBFT{NNodes: n, QEq: q, QPer: q, QVC: q, QVCT: qt}
+			res, err := Analyze(fleet, m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PBFTSizing{Model: m, Res: res})
+		}
+	}
+	return out, nil
+}
+
+// PBFTFrontier filters a sweep to its Pareto frontier in (safety,
+// liveness): points where no other sizing is at least as safe AND at least
+// as live (with one strictly better).
+func PBFTFrontier(sweep []PBFTSizing) []PBFTSizing {
+	var out []PBFTSizing
+	for i, a := range sweep {
+		dominated := false
+		for j, b := range sweep {
+			if i == j {
+				continue
+			}
+			if b.Res.Safe >= a.Res.Safe && b.Res.Live >= a.Res.Live &&
+				(b.Res.Safe > a.Res.Safe || b.Res.Live > a.Res.Live) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BestPBFTSizingForSafety returns the sizing with the highest liveness
+// among those reaching the target safety nines — "as live as possible
+// while safe enough", the deployment question §4 wants answerable.
+func BestPBFTSizingForSafety(fleet Fleet, safetyNines float64) (PBFTSizing, error) {
+	sweep, err := SweepPBFTQuorums(fleet)
+	if err != nil {
+		return PBFTSizing{}, err
+	}
+	target := dist.FromNines(safetyNines)
+	var best *PBFTSizing
+	for i := range sweep {
+		s := sweep[i]
+		if s.Res.Safe < target {
+			continue
+		}
+		if best == nil || s.Res.Live > best.Res.Live {
+			best = &sweep[i]
+		}
+	}
+	if best == nil {
+		return PBFTSizing{}, fmt.Errorf("core: no sizing reaches %.2f nines of safety", safetyNines)
+	}
+	return *best, nil
+}

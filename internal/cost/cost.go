@@ -1,0 +1,244 @@
+// Package cost searches hardware fleets for the cheapest deployment meeting
+// a target reliability — the paper's §1/§3 economic argument: "one can run
+// Raft on nine less reliable nodes ... if these resources are 10x cheaper,
+// this yields a 3x reduction in cost", and its sustainability cousin (reuse
+// older hardware at equal nines).
+package cost
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// Tier is one hardware/pricing class: dedicated instances, spot instances,
+// refurbished servers, and so on.
+type Tier struct {
+	Name string
+	// PricePerHour is the unit price.
+	PricePerHour float64
+	// Profile is the per-node fault probability over the mission window.
+	Profile faultcurve.Profile
+	// CarbonPerHour optionally tracks embodied+operational carbon; the
+	// optimizer can minimise it instead of dollars.
+	CarbonPerHour float64
+}
+
+// Spec is a node count drawn from one tier.
+type Spec struct {
+	Tier  Tier
+	Count int
+}
+
+// Plan is a candidate deployment: its fleet composition, reliability and
+// price.
+type Plan struct {
+	Specs  []Spec
+	Result core.Result
+	Model  core.Raft
+}
+
+// Fleet materialises the plan's node list (tier order, reliable tiers
+// first as given).
+func (p Plan) Fleet() core.Fleet {
+	var fleet core.Fleet
+	for _, s := range p.Specs {
+		for i := 0; i < s.Count; i++ {
+			fleet = append(fleet, core.Node{
+				Name:        fmt.Sprintf("%s-%d", s.Tier.Name, i),
+				Profile:     s.Tier.Profile,
+				CostPerHour: s.Tier.PricePerHour,
+			})
+		}
+	}
+	return fleet
+}
+
+// N returns the total node count.
+func (p Plan) N() int {
+	n := 0
+	for _, s := range p.Specs {
+		n += s.Count
+	}
+	return n
+}
+
+// PricePerHour returns the plan's total price.
+func (p Plan) PricePerHour() float64 {
+	var c float64
+	for _, s := range p.Specs {
+		c += float64(s.Count) * s.Tier.PricePerHour
+	}
+	return c
+}
+
+// CarbonPerHour returns the plan's total carbon proxy.
+func (p Plan) CarbonPerHour() float64 {
+	var c float64
+	for _, s := range p.Specs {
+		c += float64(s.Count) * s.Tier.CarbonPerHour
+	}
+	return c
+}
+
+// String summarises the plan.
+func (p Plan) String() string {
+	s := ""
+	for i, spec := range p.Specs {
+		if i > 0 {
+			s += "+"
+		}
+		s += fmt.Sprintf("%dx%s", spec.Count, spec.Tier.Name)
+	}
+	return fmt.Sprintf("%s ($%.3f/h, S&L %s)", s,
+		p.PricePerHour(), dist.FormatPercent(p.Result.SafeAndLive, 2))
+}
+
+// Objective selects what the optimizer minimises.
+type Objective int
+
+// Objectives.
+const (
+	MinimizePrice Objective = iota
+	MinimizeCarbon
+)
+
+// Optimizer searches Raft deployments (majority quorums) across tiers.
+type Optimizer struct {
+	Tiers []Tier
+	// MaxNodes bounds the search (odd sizes only make sense for majority
+	// Raft but even sizes are searched too for completeness).
+	MaxNodes int
+	// Objective defaults to MinimizePrice.
+	Objective Objective
+}
+
+func (o Optimizer) objective(p Plan) float64 {
+	if o.Objective == MinimizeCarbon {
+		return p.CarbonPerHour()
+	}
+	return p.PricePerHour()
+}
+
+// CheapestSingleTier returns the cheapest single-tier majority-Raft fleet
+// whose safe-and-live probability reaches targetNines, or an error if no
+// fleet within MaxNodes does.
+func (o Optimizer) CheapestSingleTier(targetNines float64) (Plan, error) {
+	target := dist.FromNines(targetNines)
+	var best *Plan
+	for _, tier := range o.Tiers {
+		for n := 1; n <= o.MaxNodes; n++ {
+			plan, ok := o.evalPlan([]Spec{{Tier: tier, Count: n}}, target)
+			if !ok {
+				continue
+			}
+			if best == nil || o.objective(plan) < o.objective(*best) {
+				p := plan
+				best = &p
+			}
+			break // larger fleets of the same tier cost strictly more
+		}
+	}
+	if best == nil {
+		return Plan{}, fmt.Errorf("cost: no single-tier fleet of <= %d nodes reaches %.2f nines", o.MaxNodes, targetNines)
+	}
+	return *best, nil
+}
+
+// CheapestMixed searches all two-tier mixes up to MaxNodes (plus all
+// single-tier fleets) and returns the cheapest plan meeting targetNines.
+// Mixed fleets are the fault-curve-aware frontier the paper gestures at:
+// a few reliable anchors plus cheap bulk.
+func (o Optimizer) CheapestMixed(targetNines float64) (Plan, error) {
+	target := dist.FromNines(targetNines)
+	var best *Plan
+	consider := func(specs []Spec) {
+		plan, ok := o.evalPlan(specs, target)
+		if !ok {
+			return
+		}
+		if best == nil || o.objective(plan) < o.objective(*best) {
+			p := plan
+			best = &p
+		}
+	}
+	for i, a := range o.Tiers {
+		for n := 1; n <= o.MaxNodes; n++ {
+			consider([]Spec{{Tier: a, Count: n}})
+		}
+		for j := i + 1; j < len(o.Tiers); j++ {
+			b := o.Tiers[j]
+			for na := 1; na < o.MaxNodes; na++ {
+				for nb := 1; na+nb <= o.MaxNodes; nb++ {
+					consider([]Spec{{Tier: a, Count: na}, {Tier: b, Count: nb}})
+				}
+			}
+		}
+	}
+	if best == nil {
+		return Plan{}, fmt.Errorf("cost: no fleet of <= %d nodes reaches %.2f nines", o.MaxNodes, targetNines)
+	}
+	return *best, nil
+}
+
+func (o Optimizer) evalPlan(specs []Spec, target float64) (Plan, bool) {
+	plan := Plan{Specs: specs}
+	n := plan.N()
+	if n == 0 {
+		return Plan{}, false
+	}
+	model := core.NewRaft(n)
+	res, err := core.Analyze(plan.Fleet(), model)
+	if err != nil {
+		return Plan{}, false
+	}
+	plan.Result = res
+	plan.Model = model
+	return plan, res.SafeAndLive >= target
+}
+
+// Frontier returns, for each node count 1..MaxNodes of a single tier, the
+// achieved reliability and price — the sweep behind the paper's "larger
+// networks of less reliable nodes can help" plot.
+type FrontierPoint struct {
+	N            int
+	Nines        float64
+	PricePerHour float64
+}
+
+// Frontier computes the reliability/price frontier of one tier.
+func (o Optimizer) Frontier(tier Tier) []FrontierPoint {
+	pts := make([]FrontierPoint, 0, o.MaxNodes)
+	for n := 1; n <= o.MaxNodes; n++ {
+		res := core.MustAnalyze(buildUniform(tier, n), core.NewRaft(n))
+		pts = append(pts, FrontierPoint{
+			N:            n,
+			Nines:        dist.Nines(res.SafeAndLive),
+			PricePerHour: float64(n) * tier.PricePerHour,
+		})
+	}
+	return pts
+}
+
+func buildUniform(tier Tier, n int) core.Fleet {
+	fleet := make(core.Fleet, n)
+	for i := range fleet {
+		fleet[i] = core.Node{
+			Name:        fmt.Sprintf("%s-%d", tier.Name, i),
+			Profile:     tier.Profile,
+			CostPerHour: tier.PricePerHour,
+		}
+	}
+	return fleet
+}
+
+// SortTiersByPrice orders tiers cheapest-first (stable), a convenience for
+// reports.
+func SortTiersByPrice(tiers []Tier) {
+	sort.SliceStable(tiers, func(i, j int) bool {
+		return tiers[i].PricePerHour < tiers[j].PricePerHour
+	})
+}

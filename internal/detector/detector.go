@@ -1,0 +1,198 @@
+// Package detector implements probabilistic failure detectors (§4: "design
+// new types of failure detectors which are more realistic and accurate").
+//
+// Instead of the binary timeout of the f-threshold world, a phi-accrual
+// detector (Hayashibara et al.) outputs a continuous suspicion level:
+// phi(t) = -log10 P[heartbeat still arrives after silence t], estimated
+// from the observed inter-arrival distribution. The caller picks a phi
+// threshold per decision — view change, reconfiguration, paging a human —
+// matching the paper's position that different consumers need different
+// confidence in "that node is dead".
+//
+// A Bayesian wrapper combines the detector's likelihood with the node's
+// prior fault curve: nodes known to be failure-prone are suspected sooner.
+package detector
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhiAccrual estimates heartbeat inter-arrival statistics over a sliding
+// window and converts silence into a suspicion level.
+type PhiAccrual struct {
+	window    []float64 // recent inter-arrival times
+	capacity  int
+	next      int
+	full      bool
+	last      float64 // last heartbeat arrival time
+	seen      bool
+	minStdDev float64
+}
+
+// NewPhiAccrual builds a detector with the given sliding-window size.
+// minStdDev guards against a degenerate (perfectly regular) sample making
+// the detector infinitely confident.
+func NewPhiAccrual(windowSize int, minStdDev float64) (*PhiAccrual, error) {
+	if windowSize < 2 {
+		return nil, fmt.Errorf("detector: window size %d too small", windowSize)
+	}
+	if minStdDev <= 0 {
+		return nil, fmt.Errorf("detector: minStdDev must be positive, got %v", minStdDev)
+	}
+	return &PhiAccrual{window: make([]float64, windowSize), capacity: windowSize, minStdDev: minStdDev}, nil
+}
+
+// Heartbeat records a heartbeat arrival at time t (any monotonic unit).
+func (d *PhiAccrual) Heartbeat(t float64) {
+	if d.seen {
+		dt := t - d.last
+		if dt > 0 {
+			d.window[d.next] = dt
+			d.next = (d.next + 1) % d.capacity
+			if d.next == 0 {
+				d.full = true
+			}
+		}
+	}
+	d.last = t
+	d.seen = true
+}
+
+// Samples returns how many inter-arrival samples the window holds.
+func (d *PhiAccrual) Samples() int {
+	if d.full {
+		return d.capacity
+	}
+	return d.next
+}
+
+func (d *PhiAccrual) meanStd() (mean, std float64) {
+	n := d.Samples()
+	if n == 0 {
+		return 0, d.minStdDev
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += d.window[i]
+	}
+	mean = sum / float64(n)
+	var sq float64
+	for i := 0; i < n; i++ {
+		diff := d.window[i] - mean
+		sq += diff * diff
+	}
+	std = math.Sqrt(sq / float64(n))
+	if std < d.minStdDev {
+		std = d.minStdDev
+	}
+	return mean, std
+}
+
+// Phi returns the suspicion level at time now: -log10 of the probability
+// that a heartbeat gap this long occurs given the observed distribution
+// (Gaussian tail approximation, as in the original paper). Zero when no
+// heartbeat has ever arrived or the window is empty.
+func (d *PhiAccrual) Phi(now float64) float64 {
+	if !d.seen || d.Samples() == 0 {
+		return 0
+	}
+	gap := now - d.last
+	if gap <= 0 {
+		return 0
+	}
+	mean, std := d.meanStd()
+	p := gaussianUpperTail((gap - mean) / std)
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log10(p)
+}
+
+// SuspectProb returns P[node crashed | silence], treating the phi tail as
+// the likelihood of the silence under "alive" and combining it with the
+// prior crash probability over the observation epoch:
+//
+//	P(dead|gap) = prior / (prior + (1-prior)·P(gap|alive)).
+func (d *PhiAccrual) SuspectProb(now, prior float64) float64 {
+	if prior <= 0 {
+		return 0
+	}
+	if prior >= 1 {
+		return 1
+	}
+	if !d.seen || d.Samples() == 0 {
+		return prior
+	}
+	gap := now - d.last
+	if gap <= 0 {
+		return prior
+	}
+	mean, std := d.meanStd()
+	pAlive := gaussianUpperTail((gap - mean) / std)
+	return prior / (prior + (1-prior)*pAlive)
+}
+
+// gaussianUpperTail returns P[Z > z] for standard normal Z.
+func gaussianUpperTail(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// Monitor tracks one detector per peer and exposes ranked suspicion — the
+// input a probability-native view-change or reconfiguration policy would
+// consume.
+type Monitor struct {
+	detectors []*PhiAccrual
+	priors    []float64
+}
+
+// NewMonitor builds a Monitor for n peers with the given per-node prior
+// crash probabilities (from fault curves; nil means uniform 1%).
+func NewMonitor(n, windowSize int, priors []float64) (*Monitor, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("detector: need n > 0")
+	}
+	if priors == nil {
+		priors = make([]float64, n)
+		for i := range priors {
+			priors[i] = 0.01
+		}
+	}
+	if len(priors) != n {
+		return nil, fmt.Errorf("detector: %d priors for %d peers", len(priors), n)
+	}
+	m := &Monitor{priors: priors}
+	for i := 0; i < n; i++ {
+		d, err := NewPhiAccrual(windowSize, 1e-6)
+		if err != nil {
+			return nil, err
+		}
+		m.detectors = append(m.detectors, d)
+	}
+	return m, nil
+}
+
+// Heartbeat records a heartbeat from peer i at time t.
+func (m *Monitor) Heartbeat(i int, t float64) { m.detectors[i].Heartbeat(t) }
+
+// Phi returns peer i's suspicion level.
+func (m *Monitor) Phi(i int, now float64) float64 { return m.detectors[i].Phi(now) }
+
+// SuspectProb returns peer i's posterior crash probability.
+func (m *Monitor) SuspectProb(i int, now float64) float64 {
+	return m.detectors[i].SuspectProb(now, m.priors[i])
+}
+
+// MostSuspect returns the peer with the highest posterior, excluding self.
+func (m *Monitor) MostSuspect(now float64, self int) int {
+	best, bestP := -1, -1.0
+	for i := range m.detectors {
+		if i == self {
+			continue
+		}
+		if p := m.SuspectProb(i, now); p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best
+}

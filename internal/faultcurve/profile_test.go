@@ -1,0 +1,122 @@
+package faultcurve
+
+import (
+	"testing"
+)
+
+func TestProfileConstructors(t *testing.T) {
+	c := Crash(0.04)
+	if c.PCrash != 0.04 || c.PByz != 0 {
+		t.Errorf("Crash profile = %+v", c)
+	}
+	b := Byzantine(0.01)
+	if b.PByz != 0.01 || b.PCrash != 0 {
+		t.Errorf("Byzantine profile = %+v", b)
+	}
+	if got := Crash(1.5).PCrash; got != 1 {
+		t.Errorf("Crash clamps: %v", got)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := (Profile{PCrash: 0.5, PByz: 0.4}).Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (Profile{PCrash: 0.7, PByz: 0.4}).Validate(); err == nil {
+		t.Error("sum > 1 must be rejected")
+	}
+	if err := (Profile{PCrash: -0.1}).Validate(); err == nil {
+		t.Error("negative crash must be rejected")
+	}
+}
+
+func TestWindowProfileSplitsByzFraction(t *testing.T) {
+	c := FromAFR(0.04)
+	p := WindowProfile(c, 0, HoursPerYear, 0.0025) // Google-style ratio
+	if !almostEq(p.PFail(), 0.04, 1e-9) {
+		t.Errorf("total fault prob %v, want 0.04", p.PFail())
+	}
+	if !almostEq(p.PByz, 0.04*0.0025, 1e-9) {
+		t.Errorf("byz slice %v", p.PByz)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("window profile invalid: %v", err)
+	}
+	// byzFraction clamped.
+	p2 := WindowProfile(c, 0, HoursPerYear, 2)
+	if p2.PCrash != 0 || !almostEq(p2.PByz, 0.04, 1e-9) {
+		t.Errorf("clamped byz fraction: %+v", p2)
+	}
+}
+
+func TestUniformProfilesAndConversions(t *testing.T) {
+	ps := UniformProfiles(5, Crash(0.08))
+	if len(ps) != 5 {
+		t.Fatalf("len=%d", len(ps))
+	}
+	for _, p := range ps {
+		if p.PCrash != 0.08 {
+			t.Fatalf("profile %+v", p)
+		}
+	}
+	ts := TriStates(ps)
+	if len(ts) != 5 || ts[2].PCrash != 0.08 {
+		t.Errorf("TriStates conversion wrong: %+v", ts)
+	}
+	fp := FailProbs(ps)
+	if len(fp) != 5 || fp[4] != 0.08 {
+		t.Errorf("FailProbs conversion wrong: %+v", fp)
+	}
+}
+
+func TestCommonCauseElevated(t *testing.T) {
+	base := []Profile{{PCrash: 0.01, PByz: 0.001}, {PCrash: 0.02}}
+	cc := CommonCause{ShockProb: 0.1, CrashMultiplier: 10, ByzMultiplier: 100}
+	up := cc.Elevated(base)
+	if !almostEq(up[0].PCrash, 0.1, 1e-12) || !almostEq(up[0].PByz, 0.1, 1e-12) {
+		t.Errorf("elevated[0] = %+v", up[0])
+	}
+	if !almostEq(up[1].PCrash, 0.2, 1e-12) {
+		t.Errorf("elevated[1] = %+v", up[1])
+	}
+	// Base slice must be untouched.
+	if base[0].PCrash != 0.01 {
+		t.Error("Elevated mutated its input")
+	}
+}
+
+func TestCommonCauseElevatedStaysValid(t *testing.T) {
+	base := []Profile{{PCrash: 0.4, PByz: 0.3}}
+	cc := CommonCause{CrashMultiplier: 5, ByzMultiplier: 5}
+	up := cc.Elevated(base)
+	if err := up[0].Validate(); err != nil {
+		t.Errorf("elevated profile invalid: %+v (%v)", up[0], err)
+	}
+	// Ratio preserved under renormalisation: 4:3.
+	if !almostEq(up[0].PCrash/up[0].PByz, 4.0/3.0, 1e-9) {
+		t.Errorf("ratio not preserved: %+v", up[0])
+	}
+}
+
+func TestCommonCauseAffectedSubset(t *testing.T) {
+	base := []Profile{{PCrash: 0.01}, {PCrash: 0.01}}
+	cc := CommonCause{CrashMultiplier: 10, Affected: map[int]bool{1: true}}
+	up := cc.Elevated(base)
+	if up[0].PCrash != 0.01 {
+		t.Errorf("unaffected node elevated: %+v", up[0])
+	}
+	if !almostEq(up[1].PCrash, 0.1, 1e-12) {
+		t.Errorf("affected node not elevated: %+v", up[1])
+	}
+}
+
+func TestCommonCauseMix(t *testing.T) {
+	cc := CommonCause{ShockProb: 0.25}
+	if got := cc.Mix(0.8, 0.4); !almostEq(got, 0.75*0.8+0.25*0.4, 1e-12) {
+		t.Errorf("Mix = %v", got)
+	}
+	cc2 := CommonCause{ShockProb: 2} // clamped
+	if got := cc2.Mix(0.8, 0.4); !almostEq(got, 0.4, 1e-12) {
+		t.Errorf("clamped Mix = %v", got)
+	}
+}

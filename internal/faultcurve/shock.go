@@ -1,0 +1,59 @@
+package faultcurve
+
+import "repro/internal/dist"
+
+// CommonCause models correlated failures (§2(3)): with probability
+// ShockProb a fleet-wide event (bad rollout, discovered TEE vulnerability,
+// shared-rack environmental stress) multiplies every affected node's fault
+// probability. Conditioned on whether the shock fired, node faults remain
+// independent, so exact analysis stays tractable: any probability of
+// interest is the shock-weighted mixture of two independent analyses.
+type CommonCause struct {
+	// ShockProb is the probability the correlated event occurs during the
+	// mission window.
+	ShockProb float64
+	// CrashMultiplier scales PCrash under the shock (clamped so the profile
+	// stays valid).
+	CrashMultiplier float64
+	// ByzMultiplier scales PByz under the shock. A discovered SGX/SEV
+	// vulnerability is exactly this: Byzantine probability jumps fleet-wide.
+	ByzMultiplier float64
+	// Affected optionally restricts the shock to a subset of node indices
+	// (e.g. one hardware class). Nil means the whole fleet.
+	Affected map[int]bool
+}
+
+// applies reports whether the shock elevates node i.
+func (cc CommonCause) applies(i int) bool {
+	return cc.Affected == nil || cc.Affected[i]
+}
+
+// Elevated returns the fleet profile conditioned on the shock having fired.
+func (cc CommonCause) Elevated(base []Profile) []Profile {
+	out := make([]Profile, len(base))
+	for i, p := range base {
+		if !cc.applies(i) {
+			out[i] = p
+			continue
+		}
+		pc := p.PCrash * cc.CrashMultiplier
+		pb := p.PByz * cc.ByzMultiplier
+		if pc+pb > 1 {
+			// Preserve the crash/byz ratio while keeping the profile valid.
+			scale := 1 / (pc + pb)
+			pc *= scale
+			pb *= scale
+		}
+		pc = dist.Clamp01(pc)
+		pb = dist.Clamp01(pb)
+		out[i] = Profile{PCrash: pc, PByz: pb}
+	}
+	return out
+}
+
+// Mix combines a quantity computed under the base fleet and under the
+// elevated fleet into the unconditional value.
+func (cc CommonCause) Mix(base, elevated float64) float64 {
+	s := dist.Clamp01(cc.ShockProb)
+	return (1-s)*base + s*elevated
+}

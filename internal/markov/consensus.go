@@ -1,0 +1,57 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ConsensusMTTx derives the storage-style metrics for a consensus
+// deployment: the mean time until the cluster leaves the protocol's live
+// envelope (too few correct nodes to form quorums), and — for models whose
+// safety depends on fault counts — the safe envelope.
+//
+// The mapping from protocol model to absorbing threshold assumes crash
+// faults arriving at a homogeneous rate, the same simplification as the
+// birth-death chain itself; heterogeneous-rate chains would need the full
+// state space the paper notes is an open challenge ("Markov models ... are
+// unable to capture dependent system transitions").
+
+// LivenessAbsorb returns the number of simultaneous crash failures at which
+// a Raft model stops being live: N - max(QPer, QVC) + 1.
+func LivenessAbsorb(r core.Raft) int {
+	q := r.QPer
+	if r.QVC > q {
+		q = r.QVC
+	}
+	return r.NNodes - q + 1
+}
+
+// MeanTimeToUnavailability returns the expected time until a Raft cluster
+// with per-node crash rate lambda and repair rate mu first cannot form its
+// quorums.
+func MeanTimeToUnavailability(r core.Raft, lambda, mu float64, repairers int) (float64, error) {
+	m, err := NewBirthDeath(r.NNodes, lambda, mu, repairers)
+	if err != nil {
+		return 0, err
+	}
+	absorb := LivenessAbsorb(r)
+	if absorb < 1 {
+		return 0, fmt.Errorf("markov: model %s is never live", r.Name())
+	}
+	return m.MeanTimeToAbsorption(absorb)
+}
+
+// MeanTimeToDataLoss returns the consensus MTTDL: the expected time until
+// every member of a size-k persistence quorum has failed simultaneously,
+// i.e. absorption at N - k + ... — conservatively, at k failures of the
+// specific quorum. Modeled as absorption of a k-node birth-death chain (the
+// quorum members) at k simultaneous failures, matching the RAID-style
+// "stripe loses all replicas" computation.
+func MeanTimeToDataLoss(k int, lambda, mu float64, repairers int) (float64, error) {
+	m, err := NewBirthDeath(k, lambda, mu, repairers)
+	if err != nil {
+		return 0, err
+	}
+	return m.MeanTimeToAbsorption(k)
+}

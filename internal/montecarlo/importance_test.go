@@ -1,0 +1,132 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+func TestImportanceRecoversDeepTail(t *testing.T) {
+	// P[all 5 nodes fail] at p=1% is 1e-10 — invisible to naive MC but
+	// easy under a 0.5 tilt.
+	profiles := faultcurve.UniformProfiles(5, faultcurve.Crash(0.01))
+	allFail := func(failed []bool) bool {
+		for _, f := range failed {
+			if !f {
+				return false
+			}
+		}
+		return true
+	}
+	est, err := RunImportance(profiles, UniformTilt(5, 0.5), allFail, 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-1e-10) > 2e-12 {
+		t.Errorf("estimate %v, want 1e-10", est)
+	}
+	if est.StdErr <= 0 || est.StdErr > 1e-11 {
+		t.Errorf("stderr %v implausible", est.StdErr)
+	}
+	// Naive sampling finds nothing at this budget.
+	naive := Independent{Profiles: profiles}
+	n, _ := Run(naive, func(c Config) bool {
+		crashed, _ := c.Counts()
+		return crashed == 5
+	}, 200_000, 1)
+	if n.P != 0 {
+		t.Logf("naive unexpectedly saw the event: %v", n.P)
+	}
+}
+
+func TestImportanceMatchesExactModerateTail(t *testing.T) {
+	// P[>= 4 of 9 fail] at p=8%: exact binomial tail.
+	profiles := faultcurve.UniformProfiles(9, faultcurve.Crash(0.08))
+	pred := func(failed []bool) bool {
+		c := 0
+		for _, f := range failed {
+			if f {
+				c++
+			}
+		}
+		return c >= 4
+	}
+	est, err := RunImportance(profiles, UniformTilt(9, 0.4), pred, 300_000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	{
+		// Exact via the dist package's tail (indirectly: sum binomials).
+		p := 0.08
+		for k := 4; k <= 9; k++ {
+			want += choose(9, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(9-k))
+		}
+	}
+	if math.Abs(est.P-want) > 4*est.StdErr+1e-6 {
+		t.Errorf("estimate %v vs exact %v", est, want)
+	}
+}
+
+func choose(n, k int) float64 {
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+func TestImportanceHeterogeneousTargetedLoss(t *testing.T) {
+	// E5's targeted-loss event on a heterogeneous fleet: the specific
+	// nodes {0,1,2} all fail, p = (0.1, 0.05, 0.02) -> 1e-4.
+	profiles := []faultcurve.Profile{
+		faultcurve.Crash(0.1), faultcurve.Crash(0.05), faultcurve.Crash(0.02),
+		faultcurve.Crash(0.3), faultcurve.Crash(0.3),
+	}
+	pred := func(failed []bool) bool { return failed[0] && failed[1] && failed[2] }
+	tilt := []float64{0.5, 0.5, 0.5, 0.3, 0.3}
+	est, err := RunImportance(profiles, tilt, pred, 300_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * 0.05 * 0.02
+	if math.Abs(est.P-want) > 4*est.StdErr+1e-7 {
+		t.Errorf("estimate %v vs exact %v", est, want)
+	}
+}
+
+func TestImportanceValidation(t *testing.T) {
+	profiles := faultcurve.UniformProfiles(3, faultcurve.Crash(0.1))
+	pred := func([]bool) bool { return true }
+	if _, err := RunImportance(profiles, UniformTilt(2, 0.5), pred, 100, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := RunImportance(profiles, UniformTilt(3, 0), pred, 100, 1); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := RunImportance(profiles, UniformTilt(3, 1), pred, 100, 1); err == nil {
+		t.Error("q=1 accepted")
+	}
+	if _, err := RunImportance(profiles, UniformTilt(3, 0.5), pred, 0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}
+
+func TestImportanceTrivialPredicate(t *testing.T) {
+	// pred == true always: estimate must be ~1 (weights average to 1).
+	profiles := faultcurve.UniformProfiles(4, faultcurve.Crash(0.2))
+	est, err := RunImportance(profiles, UniformTilt(4, 0.5), func([]bool) bool { return true }, 200_000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.P-1) > 0.02 {
+		t.Errorf("total mass %v, want ~1", est.P)
+	}
+	if est.EffectiveSamples <= 0 || est.EffectiveSamples > float64(est.Samples) {
+		t.Errorf("ESS %v out of range", est.EffectiveSamples)
+	}
+	if est.String() == "" {
+		t.Error("empty String")
+	}
+}

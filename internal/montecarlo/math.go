@@ -1,0 +1,9 @@
+package montecarlo
+
+import "math"
+
+// Thin wrappers keep the sampler bodies readable.
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+func sqrt(x float64) float64   { return math.Sqrt(x) }
+func ln(x float64) float64     { return math.Log(x) }

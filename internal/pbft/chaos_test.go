@@ -1,0 +1,67 @@
+package pbft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestChaosAgreementProperty: with textbook quorums and at most f
+// Byzantine nodes (any mix of silent and equivocating), agreement must hold
+// under random delays and crash schedules.
+func TestChaosAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fCount := 1 + rng.Intn(2) // f = 1 or 2
+		n := 3*fCount + 1
+		behaviors := make([]Behavior, n)
+		// Up to f Byzantine nodes at random positions.
+		byz := rng.Perm(n)[:rng.Intn(fCount+1)]
+		for _, b := range byz {
+			if rng.Intn(2) == 0 {
+				behaviors[b] = Silent
+			} else {
+				behaviors[b] = Equivocate
+			}
+		}
+		c, err := NewCluster(Config{N: n}, behaviors, seed,
+			sim.UniformDelay{Min: sim.Millisecond, Max: sim.Time(1+rng.Intn(10)) * sim.Millisecond},
+			rng.Float64()*0.05)
+		if err != nil {
+			return false
+		}
+		c.Start()
+		c.DriveWorkload(10*sim.Millisecond, 200*sim.Millisecond, 5)
+		c.RunFor(30 * sim.Second)
+		return c.Rec.CheckAgreement() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosLivenessWithinBudget: with exactly f silent nodes and honest
+// leaders available, requests eventually commit across random seeds.
+func TestChaosLivenessWithinBudget(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		behaviors := make([]Behavior, 4)
+		behaviors[rng.Intn(4)] = Silent // f=1 anywhere
+		c, err := NewCluster(Config{N: 4}, behaviors, seed,
+			sim.UniformDelay{Min: sim.Millisecond, Max: 6 * sim.Millisecond}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		c.DriveWorkload(10*sim.Millisecond, 300*sim.Millisecond, 3)
+		c.RunFor(60 * sim.Second)
+		if err := c.Rec.CheckAgreement(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if got := c.CommittedEverywhere(); got != 3 {
+			t.Errorf("seed %d: committed %d of 3 (%s)", seed, got, c.Rec.Summary())
+		}
+	}
+}

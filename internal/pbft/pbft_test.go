@@ -1,0 +1,272 @@
+package pbft
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func honestCluster(t *testing.T, n int, seed int64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(Config{N: n}, nil, seed,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	return c
+}
+
+func TestCommitsHappyPath(t *testing.T) {
+	c := honestCluster(t, 4, 1)
+	c.DriveWorkload(10*sim.Millisecond, 50*sim.Millisecond, 10)
+	c.RunFor(3 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 10 {
+		t.Errorf("committed %d of 10 (%s)", got, c.Rec.Summary())
+	}
+	// No view changes needed on the happy path.
+	for _, n := range c.Nodes {
+		if n.View() != 0 {
+			t.Errorf("node %d moved to view %d without faults", n.ID(), n.View())
+		}
+	}
+}
+
+func TestCommitsOrderedConsistently(t *testing.T) {
+	c := honestCluster(t, 7, 2)
+	c.DriveWorkload(10*sim.Millisecond, 20*sim.Millisecond, 15)
+	c.RunFor(5 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	ref := c.Rec.Committed(0)
+	if len(ref) != 15 {
+		t.Fatalf("node 0 committed %d of 15", len(ref))
+	}
+	for id := 1; id < 7; id++ {
+		log := c.Rec.Committed(id)
+		for i := range ref {
+			if i < len(log) && log[i] != ref[i] {
+				t.Fatalf("node %d slot %d: %q vs %q", id, i, log[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestSilentLeaderViewChange(t *testing.T) {
+	// Node 0 leads view 0 but is Byzantine-silent; the cluster must rotate
+	// to view 1 and commit there.
+	behaviors := []Behavior{Silent, Honest, Honest, Honest}
+	c, err := NewCluster(Config{N: 4}, behaviors, 3,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 3 * sim.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Request()
+	c.RunFor(5 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 1 {
+		t.Fatalf("committed %d of 1 after silent leader (%s)", got, c.Rec.Summary())
+	}
+	for _, id := range c.HonestIDs() {
+		if v := c.Nodes[id].View(); v < 1 {
+			t.Errorf("node %d still in view %d", id, v)
+		}
+	}
+}
+
+func TestSilentFollowerHarmless(t *testing.T) {
+	behaviors := []Behavior{Honest, Silent, Honest, Honest}
+	c, err := NewCluster(Config{N: 4}, behaviors, 4,
+		sim.FixedDelay{D: 2 * sim.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.DriveWorkload(10*sim.Millisecond, 50*sim.Millisecond, 5)
+	c.RunFor(3 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 5 {
+		t.Errorf("committed %d of 5 with one silent follower", got)
+	}
+}
+
+func TestEquivocatingLeaderCannotSplitTextbookQuorums(t *testing.T) {
+	// f=1, N=4, quorums 3: an equivocating leader cannot assemble two
+	// conflicting prepare certificates, so agreement must hold.
+	behaviors := []Behavior{Equivocate, Honest, Honest, Honest}
+	c, err := NewCluster(Config{N: 4}, behaviors, 5,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 4 * sim.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.DriveWorkload(10*sim.Millisecond, 100*sim.Millisecond, 5)
+	c.RunFor(6 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatalf("equivocator split textbook quorums: %v", err)
+	}
+}
+
+func TestEquivocationSplitsUndersizedQuorums(t *testing.T) {
+	// Deliberately undersized non-equivocation quorum: QEq=2 over N=4
+	// violates Theorem 3.1 condition (1) (b < 2*2-4 = 0 tolerates no
+	// Byzantine nodes). A single equivocating leader must be able to split
+	// agreement — this is the predicate the analysis integrates.
+	cfg := Config{N: 4, QEq: 2, QPer: 2, QVC: 3, QVCT: 2, ViewTimeout: 10 * sim.Second}
+	behaviors := []Behavior{Equivocate, Honest, Honest, Honest}
+	split := false
+	for seed := int64(0); seed < 20 && !split; seed++ {
+		c, err := NewCluster(cfg, behaviors, seed,
+			sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 8 * sim.Millisecond}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		c.Request()
+		c.RunFor(3 * sim.Second)
+		if err := c.Rec.CheckAgreement(); err != nil {
+			if !strings.Contains(err.Error(), "committed") {
+				t.Fatalf("unexpected violation type: %v", err)
+			}
+			split = true
+		}
+	}
+	if !split {
+		t.Error("equivocation never split undersized quorums across 20 seeds")
+	}
+}
+
+func TestCrashMinorityStillCommits(t *testing.T) {
+	c := honestCluster(t, 7, 6) // f=2
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	inj.CrashSet([]int{5, 6})
+	c.DriveWorkload(10*sim.Millisecond, 50*sim.Millisecond, 5)
+	c.RunFor(5 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 5 {
+		t.Errorf("committed %d of 5 with f crashes (%s)", got, c.Rec.Summary())
+	}
+}
+
+func TestTooManyCrashesBlockLiveness(t *testing.T) {
+	c := honestCluster(t, 4, 7)
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	inj.CrashSet([]int{2, 3}) // 2 > f = 1
+	c.DriveWorkload(10*sim.Millisecond, 50*sim.Millisecond, 3)
+	c.RunFor(5 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 0 {
+		t.Errorf("committed %d despite 2 of 4 crashed", got)
+	}
+}
+
+func TestCascadingViewChangeSkipsTwoBadLeaders(t *testing.T) {
+	// Views 0 and 1 are led by silent nodes; the cluster must escalate to
+	// view 2.
+	behaviors := []Behavior{Silent, Silent, Honest, Honest, Honest, Honest, Honest}
+	c, err := NewCluster(Config{N: 7}, behaviors, 8,
+		sim.FixedDelay{D: 2 * sim.Millisecond}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Request()
+	c.RunFor(10 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 1 {
+		t.Fatalf("committed %d of 1 after two bad leaders (%s)", got, c.Rec.Summary())
+	}
+	for _, id := range c.HonestIDs() {
+		if v := c.Nodes[id].View(); v < 2 {
+			t.Errorf("node %d in view %d, want >= 2", id, v)
+		}
+	}
+}
+
+func TestPreparedValueSurvivesViewChange(t *testing.T) {
+	// Crash the leader after prepares circulate but slow the commit phase
+	// by crashing it mid-protocol; the prepared value must carry into the
+	// new view rather than being reassigned.
+	c := honestCluster(t, 4, 9)
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	c.Request()
+	// Let pre-prepare/prepare circulate, then kill the leader.
+	c.RunFor(4 * sim.Millisecond)
+	inj.CrashSet([]int{0})
+	c.RunFor(10 * sim.Second)
+	if err := c.Rec.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.CommittedEverywhere(); got != 1 {
+		t.Fatalf("request lost across view change (%s)", c.Rec.Summary())
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() (string, uint64) {
+		c := honestCluster(t, 4, 77)
+		c.DriveWorkload(10*sim.Millisecond, 30*sim.Millisecond, 8)
+		c.RunFor(4 * sim.Second)
+		return c.Rec.Summary(), c.Sched.Steps()
+	}
+	s1, n1 := run()
+	s2, n2 := run()
+	if s1 != s2 || n1 != n2 {
+		t.Errorf("non-deterministic: %q/%d vs %q/%d", s1, n1, s2, n2)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{N: 0},
+		{N: 4, QEq: 5},
+		{N: 4, QPer: -1},
+		{N: 4, QVCT: 9},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config accepted: %+v", bad)
+		}
+	}
+	cfg := Config{N: 7}.withDefaults()
+	if cfg.QEq != 5 || cfg.QPer != 5 || cfg.QVC != 5 || cfg.QVCT != 3 {
+		t.Errorf("defaults for N=7: %+v", cfg)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(Config{N: 4}, []Behavior{Honest}, 1, sim.FixedDelay{D: 1}, 0); err == nil {
+		t.Error("behaviour count mismatch accepted")
+	}
+	sched := sim.NewScheduler(1)
+	net := sim.NewNetwork(sched, 4, sim.FixedDelay{D: 1}, 0)
+	if _, err := NewNode(9, Config{N: 4}, Honest, net, nil); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	c := honestCluster(t, 4, 10)
+	n := c.Nodes[0]
+	if n.LeaderOf(0) != 0 || n.LeaderOf(1) != 1 || n.LeaderOf(4) != 0 {
+		t.Error("round-robin leader rotation wrong")
+	}
+	if !c.Nodes[0].IsLeader() || c.Nodes[1].IsLeader() {
+		t.Error("IsLeader wrong in view 0")
+	}
+}

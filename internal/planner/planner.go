@@ -1,0 +1,161 @@
+// Package planner implements §4's preemptive reconfiguration: "predictive
+// models for node reliability enable preemptive reconfiguration, mitigating
+// potential failures from jeopardizing safety or liveness".
+//
+// Given per-node fault curves (which move with age — bathtub wear-out,
+// rollout spikes) and a reliability target in nines, the planner walks the
+// deployment timeline in review epochs, recomputes the fleet's window
+// reliability from each node's age-conditional failure probability, and
+// schedules node replacements before the fleet dips below target —
+// replacing the most failure-prone node first, the way a fault-curve-aware
+// operator would.
+package planner
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// TrackedNode is a node with its fault curve and commissioning age.
+type TrackedNode struct {
+	Name string
+	// Curve is the node's hazard model.
+	Curve faultcurve.Curve
+	// Age is the node's age in hours at plan start.
+	Age float64
+}
+
+// Plan configures the advisor.
+type Plan struct {
+	// Nodes is the deployment at plan start.
+	Nodes []TrackedNode
+	// Model maps a fleet size to the protocol model (majority Raft by
+	// default).
+	Model core.Raft
+	// TargetNines is the required safe-and-live reliability per window.
+	TargetNines float64
+	// Window is the mission window each review evaluates (hours).
+	Window float64
+	// Epoch is the review cadence (hours).
+	Epoch float64
+	// Horizon is the total planning horizon (hours).
+	Horizon float64
+	// ReplacementCurve is the curve of a fresh replacement node.
+	ReplacementCurve faultcurve.Curve
+	// MaxReplacementsPerEpoch bounds churn (0 = 1).
+	MaxReplacementsPerEpoch int
+}
+
+// Validate rejects broken plans.
+func (p Plan) Validate() error {
+	if len(p.Nodes) == 0 {
+		return fmt.Errorf("planner: no nodes")
+	}
+	if p.Model.NNodes != len(p.Nodes) {
+		return fmt.Errorf("planner: model N=%d != %d nodes", p.Model.NNodes, len(p.Nodes))
+	}
+	if p.Window <= 0 || p.Epoch <= 0 || p.Horizon <= 0 {
+		return fmt.Errorf("planner: window/epoch/horizon must be positive")
+	}
+	if p.ReplacementCurve == nil {
+		return fmt.Errorf("planner: nil replacement curve")
+	}
+	if p.TargetNines <= 0 {
+		return fmt.Errorf("planner: target nines must be positive")
+	}
+	return nil
+}
+
+// Action is one planned replacement.
+type Action struct {
+	At       float64 // hours from plan start
+	Node     int
+	Name     string
+	NodeProb float64 // the node's window failure probability that triggered it
+}
+
+// Review is the fleet state at one epoch boundary.
+type Review struct {
+	At           float64
+	Nines        float64
+	Replacements []Action
+}
+
+// Schedule is the advisor's output.
+type Schedule struct {
+	Reviews []Review
+	Actions []Action
+	// MinNines is the worst per-window reliability over the horizon,
+	// after planned replacements.
+	MinNines float64
+}
+
+// Advise walks the horizon and returns the replacement schedule.
+func Advise(p Plan) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	maxRepl := p.MaxReplacementsPerEpoch
+	if maxRepl <= 0 {
+		maxRepl = 1
+	}
+	ages := make([]float64, len(p.Nodes))
+	curves := make([]faultcurve.Curve, len(p.Nodes))
+	names := make([]string, len(p.Nodes))
+	for i, n := range p.Nodes {
+		ages[i] = n.Age
+		curves[i] = n.Curve
+		names[i] = n.Name
+	}
+	var sched Schedule
+	sched.MinNines = -1
+	for t := 0.0; t <= p.Horizon; t += p.Epoch {
+		review := Review{At: t}
+		for r := 0; r < maxRepl; r++ {
+			nines, worst, worstProb := fleetNines(p, curves, ages, t)
+			if nines >= p.TargetNines {
+				review.Nines = nines
+				break
+			}
+			// Preemptively replace the most failure-prone node.
+			act := Action{At: t, Node: worst, Name: names[worst], NodeProb: worstProb}
+			curves[worst] = p.ReplacementCurve
+			ages[worst] = -t // age 0 at time t: age(t') = t' + ages[i]
+			names[worst] = fmt.Sprintf("%s-repl@%.0fh", p.Nodes[worst].Name, t)
+			review.Replacements = append(review.Replacements, act)
+			sched.Actions = append(sched.Actions, act)
+			review.Nines, _, _ = fleetNines(p, curves, ages, t)
+		}
+		if review.Nines == 0 {
+			review.Nines, _, _ = fleetNines(p, curves, ages, t)
+		}
+		sched.Reviews = append(sched.Reviews, review)
+		if sched.MinNines < 0 || review.Nines < sched.MinNines {
+			sched.MinNines = review.Nines
+		}
+	}
+	return sched, nil
+}
+
+// fleetNines computes the fleet's safe-and-live nines for the window
+// starting at time t, plus the most failure-prone node and its probability.
+func fleetNines(p Plan, curves []faultcurve.Curve, ages []float64, t float64) (nines float64, worst int, worstProb float64) {
+	fleet := make(core.Fleet, len(curves))
+	worst, worstProb = 0, -1.0
+	for i, c := range curves {
+		age := t + ages[i]
+		if age < 0 {
+			age = 0
+		}
+		prob := faultcurve.FailProb(c, age, p.Window)
+		fleet[i] = core.Node{Profile: faultcurve.Profile{PCrash: prob}}
+		if prob > worstProb {
+			worst, worstProb = i, prob
+		}
+	}
+	res := core.MustAnalyze(fleet, p.Model)
+	return dist.Nines(res.SafeAndLive), worst, worstProb
+}

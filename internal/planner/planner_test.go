@@ -1,0 +1,156 @@
+package planner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+)
+
+func agingPlan() Plan {
+	wearOut := faultcurve.Bathtub{
+		Infancy: faultcurve.Weibull{Shape: 0.7, Scale: 5e6},
+		Floor:   faultcurve.FromAFR(0.01),
+		WearOut: faultcurve.Weibull{Shape: 6, Scale: 5 * faultcurve.HoursPerYear},
+	}
+	nodes := make([]TrackedNode, 5)
+	for i := range nodes {
+		nodes[i] = TrackedNode{
+			Name:  "disk",
+			Curve: wearOut,
+			// Staggered ages: 2 to 4 years old at plan start.
+			Age: float64(2+i/2) * faultcurve.HoursPerYear,
+		}
+	}
+	return Plan{
+		Nodes:            nodes,
+		Model:            core.NewRaft(5),
+		TargetNines:      3,
+		Window:           faultcurve.HoursPerYear / 12, // monthly windows
+		Epoch:            faultcurve.HoursPerYear / 4,  // quarterly reviews
+		Horizon:          6 * faultcurve.HoursPerYear,
+		ReplacementCurve: faultcurve.FromAFR(0.01),
+	}
+}
+
+func TestAdviseKeepsFleetAboveTarget(t *testing.T) {
+	p := agingPlan()
+	sched, err := Advise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Actions) == 0 {
+		t.Fatal("an aging fleet over 6 years must need replacements")
+	}
+	if sched.MinNines < p.TargetNines-0.5 {
+		t.Errorf("fleet dipped to %.2f nines despite planning (target %v)", sched.MinNines, p.TargetNines)
+	}
+	// Reviews cover the horizon.
+	wantReviews := int(p.Horizon/p.Epoch) + 1
+	if len(sched.Reviews) != wantReviews {
+		t.Errorf("got %d reviews, want %d", len(sched.Reviews), wantReviews)
+	}
+	// Actions are time-ordered.
+	for i := 1; i < len(sched.Actions); i++ {
+		if sched.Actions[i].At < sched.Actions[i-1].At {
+			t.Error("actions out of order")
+		}
+	}
+}
+
+func TestAdviseNoActionsWhenFleetHealthy(t *testing.T) {
+	p := agingPlan()
+	for i := range p.Nodes {
+		p.Nodes[i].Curve = faultcurve.FromAFR(0.001)
+		p.Nodes[i].Age = 0
+	}
+	sched, err := Advise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Actions) != 0 {
+		t.Errorf("healthy fleet got %d replacements", len(sched.Actions))
+	}
+	if sched.MinNines < p.TargetNines {
+		t.Errorf("healthy fleet below target: %v", sched.MinNines)
+	}
+}
+
+func TestAdviseWithoutPlanningDips(t *testing.T) {
+	// The same aging fleet with an unreachable target shows what no
+	// planning looks like: reliability decays with wear-out.
+	p := agingPlan()
+	p.TargetNines = 0.0001 // effectively never replace
+	sched, err := Advise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Actions) != 0 {
+		t.Fatalf("replacements happened with a trivial target")
+	}
+	first := sched.Reviews[0].Nines
+	last := sched.Reviews[len(sched.Reviews)-1].Nines
+	if !(last < first) {
+		t.Errorf("unplanned aging fleet should decay: %v -> %v", first, last)
+	}
+	planned, _ := Advise(agingPlan())
+	if !(planned.MinNines > sched.MinNines) {
+		t.Errorf("planning (%v) must beat no planning (%v)", planned.MinNines, sched.MinNines)
+	}
+}
+
+func TestAdviseReplacesWorstNodeFirst(t *testing.T) {
+	p := agingPlan()
+	// Make node 3 dramatically worse than the rest.
+	p.Nodes[3].Age = 6 * faultcurve.HoursPerYear
+	sched, err := Advise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Actions) == 0 {
+		t.Fatal("no actions")
+	}
+	if sched.Actions[0].Node != 3 {
+		t.Errorf("first replacement hit node %d, want the oldest node 3", sched.Actions[0].Node)
+	}
+}
+
+func TestAdviseChurnBound(t *testing.T) {
+	p := agingPlan()
+	for i := range p.Nodes {
+		p.Nodes[i].Age = 5 * faultcurve.HoursPerYear // all nearly dead
+	}
+	p.MaxReplacementsPerEpoch = 2
+	sched, err := Advise(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perEpoch := map[float64]int{}
+	for _, a := range sched.Actions {
+		perEpoch[a.At]++
+		if perEpoch[a.At] > 2 {
+			t.Fatalf("churn bound exceeded at t=%v", a.At)
+		}
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	good := agingPlan()
+	bad := []func(*Plan){
+		func(p *Plan) { p.Nodes = nil },
+		func(p *Plan) { p.Model = core.NewRaft(3) },
+		func(p *Plan) { p.Window = 0 },
+		func(p *Plan) { p.Epoch = -1 },
+		func(p *Plan) { p.Horizon = 0 },
+		func(p *Plan) { p.ReplacementCurve = nil },
+		func(p *Plan) { p.TargetNines = 0 },
+	}
+	for i, mutate := range bad {
+		p := good
+		p.Nodes = append([]TrackedNode(nil), good.Nodes...)
+		mutate(&p)
+		if _, err := Advise(p); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package quorum
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// This file holds the probabilistic-quorum calculations of §3.2 and §4:
+// instead of guaranteeing intersection, sample small quorums and compute the
+// probability that the properties of interest hold.
+
+// ProbContainsCorrect returns the probability that a fixed set of k nodes,
+// each independently faulty with probability p, contains at least one
+// correct node: 1 - p^k. §3.2's "ten nines that a random quorum of five
+// nodes includes at least one correct node" is ProbContainsCorrect(5, 0.01).
+func ProbContainsCorrect(k int, p float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	return dist.Clamp01(-math.Expm1(float64(k) * math.Log(dist.Clamp01(p))))
+}
+
+// ProbSetAllFail returns the probability that every node of the given set
+// fails, under per-node failure probabilities probs (indexed by node).
+// This is the targeted-loss term of §4's closing example: data is lost only
+// if the failures perfectly overlap the most recent persistence quorum.
+func ProbSetAllFail(s Set, probs []float64) float64 {
+	logp := 0.0
+	for _, i := range s.Members() {
+		p := dist.Clamp01(probs[i])
+		if p == 0 {
+			return 0
+		}
+		logp += math.Log(p)
+	}
+	if s.Count() == 0 {
+		return 1
+	}
+	return dist.Clamp01(math.Exp(logp))
+}
+
+// ProbKFaultsOccur returns the probability that at least k of the n nodes
+// fail when each fails independently with probability p — §4's "50% chance
+// that |Q_per| faults occur" in the 100-node example.
+func ProbKFaultsOccur(n, k int, p float64) float64 {
+	return dist.BinomTailGE(n, p, k)
+}
+
+// SampledIntersectionProb returns the probability that two independently
+// and uniformly sampled k-subsets of n nodes intersect. Probabilistic
+// quorum systems (Malkhi-Reiter-Wright) choose k ≈ c*sqrt(n) so this
+// probability is high without any coordination:
+// 1 - C(n-k, k)/C(n, k).
+func SampledIntersectionProb(n, k int) float64 {
+	if k <= 0 || n <= 0 {
+		return 0
+	}
+	if 2*k > n {
+		return 1
+	}
+	logMiss := dist.LogChoose(n-k, k) - dist.LogChoose(n, k)
+	return dist.Clamp01(-math.Expm1(logMiss))
+}
+
+// SqrtQuorumSize returns the ceil(c*sqrt(n)) sizing rule for probabilistic
+// quorums.
+func SqrtQuorumSize(n int, c float64) int {
+	k := int(math.Ceil(c * math.Sqrt(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// TargetedLossProb composes §4's closing argument for one configuration:
+// the probability that at least quorumSize faults occur AND that the faults
+// cover the one specific persistence quorum that holds the latest data,
+// assuming uniform failure probability p across n nodes. The second factor
+// is p^quorumSize; the paper contrasts the ~50% first factor with the
+// ~1e-10 product.
+func TargetedLossProb(n, quorumSize int, p float64) (anyKFaults, lossGivenTarget float64) {
+	anyKFaults = ProbKFaultsOccur(n, quorumSize, p)
+	lossGivenTarget = math.Exp(float64(quorumSize) * math.Log(dist.Clamp01(p)))
+	return anyKFaults, dist.Clamp01(lossGivenTarget)
+}

@@ -1,0 +1,193 @@
+// Package quorum provides quorum-system abstractions for consensus analysis:
+// node sets, classic majority and threshold systems, weighted systems,
+// reliability-aware systems that must include dependable nodes (§3.2's
+// "require quorums to include at least one reliable node"), and the
+// probabilistic sampling quorums of §4 (intersect with high probability
+// instead of always).
+package quorum
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a set of node indices in [0, N). It is a small bitset; N is fixed
+// at construction. The zero value is unusable — use NewSet.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// NewSet returns an empty set over n node indices.
+func NewSet(n int) Set {
+	if n < 0 {
+		panic("quorum: negative set universe")
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// SetOf builds a set over n indices containing the given members.
+func SetOf(n int, members ...int) Set {
+	s := NewSet(n)
+	for _, m := range members {
+		s.Add(m)
+	}
+	return s
+}
+
+// FromMask builds a set over n <= 64 indices from a bitmask — the exact
+// enumeration engine iterates masks directly.
+func FromMask(n int, mask uint64) Set {
+	if n > wordBits {
+		panic("quorum: FromMask requires n <= 64")
+	}
+	s := NewSet(n)
+	if len(s.words) > 0 {
+		s.words[0] = mask
+	}
+	return s
+}
+
+// N returns the universe size.
+func (s Set) N() int { return s.n }
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("quorum: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts index i.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Remove deletes index i.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Has reports membership of i.
+func (s Set) Has(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the cardinality.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns an independent copy.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// IntersectCount returns |s ∩ t|. Panics if universes differ.
+func (s Set) IntersectCount(t Set) int {
+	s.mustMatch(t)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & t.words[i])
+	}
+	return c
+}
+
+// Intersects reports whether s and t share a member.
+func (s Set) Intersects(t Set) bool {
+	s.mustMatch(t)
+	for i, w := range s.words {
+		if w&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Union returns s ∪ t as a new set.
+func (s Set) Union(t Set) Set {
+	s.mustMatch(t)
+	u := s.Clone()
+	for i := range u.words {
+		u.words[i] |= t.words[i]
+	}
+	return u
+}
+
+// Minus returns s \ t as a new set.
+func (s Set) Minus(t Set) Set {
+	s.mustMatch(t)
+	u := s.Clone()
+	for i := range u.words {
+		u.words[i] &^= t.words[i]
+	}
+	return u
+}
+
+// Complement returns the universe minus s.
+func (s Set) Complement() Set {
+	u := s.Clone()
+	for i := range u.words {
+		u.words[i] = ^u.words[i]
+	}
+	// Clear bits beyond n.
+	if extra := s.n % wordBits; extra != 0 && len(u.words) > 0 {
+		u.words[len(u.words)-1] &= (1 << extra) - 1
+	}
+	return u
+}
+
+// Members returns the sorted member indices.
+func (s Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	for i := 0; i < s.n; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s Set) Equal(t Set) bool {
+	if s.n != t.n {
+		return false
+	}
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders like "{0,2,5}/7".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", m)
+	}
+	fmt.Fprintf(&b, "}/%d", s.n)
+	return b.String()
+}
+
+func (s Set) mustMatch(t Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("quorum: mismatched universes %d vs %d", s.n, t.n))
+	}
+}

@@ -1,0 +1,127 @@
+package raft
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// TestChaosAgreementProperty is the safety property test: under random
+// crash/restart schedules, random message delays and loss, Raft must never
+// violate agreement. (Liveness legitimately varies; safety may not.)
+func TestChaosAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + 2*rng.Intn(2) // 3 or 5
+		loss := rng.Float64() * 0.1
+		c, err := NewCluster(Config{N: n}, seed,
+			sim.UniformDelay{Min: sim.Millisecond, Max: sim.Time(1+rng.Intn(20)) * sim.Millisecond},
+			loss)
+		if err != nil {
+			return false
+		}
+		c.Start()
+		inj := sim.NewInjector(c.Net, c.Crashables())
+
+		// Random crash/restart schedule over a 30s run.
+		var faults []sim.Fault
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.5 {
+				at := sim.Time(rng.Int63n(int64(20 * sim.Second)))
+				f := sim.Fault{Node: i, At: at}
+				if rng.Float64() < 0.7 {
+					f.Recover = at + sim.Time(rng.Int63n(int64(8*sim.Second)))
+				}
+				faults = append(faults, f)
+			}
+		}
+		inj.Schedule(faults)
+		c.DriveWorkload(200*sim.Millisecond, 100*sim.Millisecond, 15)
+		c.RunFor(30 * sim.Second)
+
+		return c.Rec.CheckAgreement() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosElectionSafetyProperty: in any run, at most one node acts as
+// leader per term (checked at the end of the run for the highest term;
+// stronger invariants are enforced by agreement anyway).
+func TestChaosElectionSafetyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := NewCluster(Config{N: 5}, seed,
+			sim.UniformDelay{Min: sim.Millisecond, Max: 10 * sim.Millisecond}, 0.05)
+		if err != nil {
+			return false
+		}
+		c.Start()
+		c.RunFor(10 * sim.Second)
+		// Count leaders per term among alive nodes.
+		leadersByTerm := map[uint64]int{}
+		for _, n := range c.Nodes {
+			if n.Role() == Leader {
+				leadersByTerm[n.Term()]++
+			}
+		}
+		for _, count := range leadersByTerm {
+			if count > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChaosRecoveryLiveness: after arbitrary chaos ends and all nodes
+// restart, the cluster must recover and commit new operations.
+func TestChaosRecoveryLiveness(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		c, err := NewCluster(Config{N: 3}, seed,
+			sim.UniformDelay{Min: sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Start()
+		inj := sim.NewInjector(c.Net, c.Crashables())
+		rng := rand.New(rand.NewSource(seed + 100))
+		// Chaos phase: everything crashes and restarts at random times.
+		for i := 0; i < 3; i++ {
+			at := sim.Time(rng.Int63n(int64(5 * sim.Second)))
+			inj.Schedule([]sim.Fault{{Node: i, At: at, Recover: at + sim.Time(rng.Int63n(int64(5*sim.Second)))}})
+		}
+		c.DriveWorkload(100*sim.Millisecond, 100*sim.Millisecond, 5)
+		c.RunFor(15 * sim.Second)
+		// Recovery phase: everything is up; propose and expect commits.
+		got := false
+		for i := 0; i < 50 && !got; i++ {
+			got = c.ProposeAny("recovery-op")
+			c.RunFor(200 * sim.Millisecond)
+		}
+		if !got {
+			t.Errorf("seed %d: no leader after full recovery", seed)
+			continue
+		}
+		c.RunFor(5 * sim.Second)
+		if err := c.Rec.CheckAgreement(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		found := false
+		for node := 0; node < 3; node++ {
+			for _, v := range c.Rec.Committed(node) {
+				if v == "recovery-op" {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: recovery op never committed (%s)", seed, c.Rec.Summary())
+		}
+	}
+}

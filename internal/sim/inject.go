@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faultcurve"
+)
+
+// Crashable is a protocol node that can be crashed and restarted by the
+// fault injector. Crash must drop volatile state; Restart must recover from
+// persistent state, as a real process restart would.
+type Crashable interface {
+	Crash()
+	Restart()
+}
+
+// Fault is one scheduled fault event.
+type Fault struct {
+	Node    int
+	At      Time
+	Recover Time // zero means never (fail-stop for the rest of the run)
+}
+
+// SampleCrashTimes draws, for each node, whether and when it crashes during
+// [0, window], by inverting the fault curve's conditional failure time:
+// T = H^{-1}(-ln U) found by bisection on the cumulative hazard. Nodes whose
+// sampled time exceeds the window do not fail. mttr > 0 adds an
+// exponentially distributed repair delay; mttr == 0 produces fail-stop
+// faults (the model behind Tables 1 and 2, which have no reconfiguration).
+func SampleCrashTimes(curves []faultcurve.Curve, window Time, mttr Time, rng *rand.Rand) []Fault {
+	var faults []Fault
+	wh := float64(window) / float64(Second) / 3600 // window in hours
+	for i, c := range curves {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		target := -math.Log(u)
+		if c.CumHazard(wh) < target {
+			continue // survives the window
+		}
+		th := invertCumHazard(c, target, wh)
+		at := Time(th * 3600 * float64(Second))
+		f := Fault{Node: i, At: at}
+		if mttr > 0 {
+			f.Recover = at + Time(rng.ExpFloat64()*float64(mttr))
+		}
+		faults = append(faults, f)
+	}
+	sort.Slice(faults, func(a, b int) bool { return faults[a].At < faults[b].At })
+	return faults
+}
+
+// invertCumHazard finds t in [0, hi] hours with CumHazard(t) ~= target by
+// bisection (CumHazard is nondecreasing).
+func invertCumHazard(c faultcurve.Curve, target, hi float64) float64 {
+	lo := 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if c.CumHazard(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Injector schedules fault events against a network and its nodes.
+type Injector struct {
+	net   *Network
+	nodes []Crashable
+}
+
+// NewInjector wires an injector to the network and node list.
+func NewInjector(net *Network, nodes []Crashable) *Injector {
+	return &Injector{net: net, nodes: nodes}
+}
+
+// Schedule arranges the given faults on the scheduler.
+func (in *Injector) Schedule(faults []Fault) {
+	for _, f := range faults {
+		f := f
+		in.net.Scheduler().At(f.At, func() {
+			in.net.SetDown(f.Node, true)
+			in.nodes[f.Node].Crash()
+		})
+		if f.Recover > 0 {
+			in.net.Scheduler().At(f.Recover, func() {
+				in.net.SetDown(f.Node, false)
+				in.nodes[f.Node].Restart()
+			})
+		}
+	}
+}
+
+// CrashSet immediately marks the given nodes failed for the whole run —
+// the direct encoding of one of §3's failure configurations.
+func (in *Injector) CrashSet(nodes []int) {
+	for _, i := range nodes {
+		in.net.SetDown(i, true)
+		in.nodes[i].Crash()
+	}
+}

@@ -1,0 +1,207 @@
+// Package telemetry closes the loop the paper's vision depends on (§4
+// "accurate fault curves"): large-scale fleets keep failure telemetry; fault
+// curves are estimated from it. Production telemetry is proprietary, so this
+// package substitutes a synthetic fleet generator with a controlled
+// ground-truth hazard, plus the estimators an operator would run on real
+// data — AFR counting, life-table (piecewise hazard) estimation, and Weibull
+// fitting by median-rank regression. Tests recover known ground truth from
+// generated data, which is exactly the pipeline telemetry→curve→analysis.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faultcurve"
+)
+
+// Unit is one observed server: when it failed (if it did) during the
+// observation horizon.
+type Unit struct {
+	// FailedAt is the failure age in hours; valid only when Failed.
+	FailedAt float64
+	// Failed reports whether the unit failed before the horizon
+	// (otherwise it is right-censored at the horizon).
+	Failed bool
+}
+
+// Fleet is an observed population with a common horizon (hours).
+type Fleet struct {
+	Units   []Unit
+	Horizon float64
+}
+
+// Generate draws a synthetic fleet of n units following the ground-truth
+// curve, observed for `horizon` hours. Failure ages are sampled by
+// inverting the cumulative hazard with bisection.
+func Generate(c faultcurve.Curve, n int, horizon float64, rng *rand.Rand) Fleet {
+	units := make([]Unit, n)
+	for i := range units {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		target := -math.Log(u)
+		if c.CumHazard(horizon) < target {
+			continue // survives
+		}
+		units[i] = Unit{FailedAt: invertCumHazard(c, target, horizon), Failed: true}
+	}
+	return Fleet{Units: units, Horizon: horizon}
+}
+
+func invertCumHazard(c faultcurve.Curve, target, hi float64) float64 {
+	lo := 0.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if c.CumHazard(mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// Failures counts failed units.
+func (f Fleet) Failures() int {
+	k := 0
+	for _, u := range f.Units {
+		if u.Failed {
+			k++
+		}
+	}
+	return k
+}
+
+// UnitHours returns the total observed time at risk.
+func (f Fleet) UnitHours() float64 {
+	var t float64
+	for _, u := range f.Units {
+		if u.Failed {
+			t += u.FailedAt
+		} else {
+			t += f.Horizon
+		}
+	}
+	return t
+}
+
+// EstimateRate returns the constant-hazard MLE: failures / unit-hours.
+func (f Fleet) EstimateRate() float64 {
+	uh := f.UnitHours()
+	if uh == 0 {
+		return 0
+	}
+	return float64(f.Failures()) / uh
+}
+
+// EstimateAFR converts the rate estimate to a Backblaze-style annual
+// failure rate.
+func (f Fleet) EstimateAFR() float64 {
+	return faultcurve.RateToAFR(f.EstimateRate())
+}
+
+// FitConstant returns the constant curve matching the fleet's rate MLE.
+func (f Fleet) FitConstant() faultcurve.Constant {
+	return faultcurve.Constant{Rate: f.EstimateRate()}
+}
+
+// LifeTable estimates a piecewise-constant hazard over `bins` equal age
+// bins: hazard_i = failures in bin / unit-hours at risk in bin. This is the
+// standard actuarial estimator and recovers bathtub shapes no parametric
+// fit would.
+func (f Fleet) LifeTable(bins int) (faultcurve.Piecewise, error) {
+	if bins <= 0 {
+		return faultcurve.Piecewise{}, fmt.Errorf("telemetry: need bins > 0, got %d", bins)
+	}
+	if f.Horizon <= 0 {
+		return faultcurve.Piecewise{}, fmt.Errorf("telemetry: need horizon > 0")
+	}
+	width := f.Horizon / float64(bins)
+	failures := make([]int, bins)
+	atRisk := make([]float64, bins)
+	for _, u := range f.Units {
+		end := f.Horizon
+		if u.Failed {
+			end = u.FailedAt
+		}
+		for b := 0; b < bins; b++ {
+			lo, hi := float64(b)*width, float64(b+1)*width
+			if end <= lo {
+				break
+			}
+			t := math.Min(end, hi) - lo
+			atRisk[b] += t
+		}
+		if u.Failed {
+			b := int(u.FailedAt / width)
+			if b >= bins {
+				b = bins - 1
+			}
+			failures[b]++
+		}
+	}
+	segs := make([]faultcurve.Segment, bins)
+	var lastRate float64
+	for b := 0; b < bins; b++ {
+		rate := 0.0
+		if atRisk[b] > 0 {
+			rate = float64(failures[b]) / atRisk[b]
+		}
+		segs[b] = faultcurve.Segment{End: float64(b+1) * width, Rate: rate}
+		lastRate = rate
+	}
+	return faultcurve.NewPiecewise(segs, lastRate)
+}
+
+// FitWeibull estimates Weibull shape and scale by median-rank regression on
+// the failed units. It needs at least 3 failures; censored units only
+// adjust the ranks' denominator. This is the textbook probability-plot fit
+// operators use on fleet telemetry.
+func (f Fleet) FitWeibull() (faultcurve.Weibull, error) {
+	var times []float64
+	for _, u := range f.Units {
+		if u.Failed {
+			times = append(times, u.FailedAt)
+		}
+	}
+	if len(times) < 3 {
+		return faultcurve.Weibull{}, fmt.Errorf("telemetry: weibull fit needs >= 3 failures, have %d", len(times))
+	}
+	sort.Float64s(times)
+	n := float64(len(f.Units))
+	var sx, sy, sxx, sxy float64
+	m := 0
+	for i, t := range times {
+		if t <= 0 {
+			continue
+		}
+		// Bernard's median-rank approximation.
+		fr := (float64(i+1) - 0.3) / (n + 0.4)
+		x := math.Log(t)
+		y := math.Log(-math.Log(1 - fr))
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		m++
+	}
+	if m < 3 {
+		return faultcurve.Weibull{}, fmt.Errorf("telemetry: too few usable failure times")
+	}
+	mf := float64(m)
+	den := mf*sxx - sx*sx
+	if den == 0 {
+		return faultcurve.Weibull{}, fmt.Errorf("telemetry: degenerate regression")
+	}
+	shape := (mf*sxy - sx*sy) / den
+	intercept := (sy - shape*sx) / mf
+	if shape <= 0 {
+		return faultcurve.Weibull{}, fmt.Errorf("telemetry: non-positive shape %v", shape)
+	}
+	scale := math.Exp(-intercept / shape)
+	return faultcurve.Weibull{Shape: shape, Scale: scale}, nil
+}

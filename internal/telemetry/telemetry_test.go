@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+func TestGenerateFractionMatchesCurve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	curve := faultcurve.FromAFR(0.08)
+	fleet := Generate(curve, 20_000, faultcurve.HoursPerYear, rng)
+	frac := float64(fleet.Failures()) / float64(len(fleet.Units))
+	if math.Abs(frac-0.08) > 0.006 {
+		t.Errorf("failure fraction %v, want ~0.08", frac)
+	}
+	for _, u := range fleet.Units {
+		if u.Failed && (u.FailedAt < 0 || u.FailedAt > fleet.Horizon) {
+			t.Fatalf("failure age %v outside horizon", u.FailedAt)
+		}
+	}
+}
+
+func TestEstimateAFRRecoversGroundTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, afr := range []float64{0.01, 0.04, 0.08} {
+		fleet := Generate(faultcurve.FromAFR(afr), 50_000, faultcurve.HoursPerYear, rng)
+		got := fleet.EstimateAFR()
+		if math.Abs(got-afr) > afr*0.12+0.002 {
+			t.Errorf("AFR estimate %v, ground truth %v", got, afr)
+		}
+	}
+}
+
+func TestEstimateRateEmptyFleet(t *testing.T) {
+	f := Fleet{Horizon: 100}
+	if f.EstimateRate() != 0 {
+		t.Error("empty fleet must estimate rate 0")
+	}
+}
+
+func TestFitConstantRoundTripsThroughAnalysis(t *testing.T) {
+	// telemetry -> curve -> window probability: the full pipeline.
+	rng := rand.New(rand.NewSource(3))
+	truth := faultcurve.FromAFR(0.04)
+	fleet := Generate(truth, 40_000, faultcurve.HoursPerYear, rng)
+	fitted := fleet.FitConstant()
+	p := faultcurve.FailProb(fitted, 0, faultcurve.HoursPerYear)
+	if math.Abs(p-0.04) > 0.005 {
+		t.Errorf("window probability from fitted curve %v, want ~0.04", p)
+	}
+}
+
+func TestLifeTableRecoversConstantHazard(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rate := faultcurve.AFRToRate(0.3)
+	fleet := Generate(faultcurve.Constant{Rate: rate}, 60_000, faultcurve.HoursPerYear, rng)
+	pw, err := fleet.LifeTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range pw.Segments {
+		if math.Abs(seg.Rate-rate) > rate*0.15 {
+			t.Errorf("bin ending %v: hazard %v, truth %v", seg.End, seg.Rate, rate)
+		}
+	}
+}
+
+func TestLifeTableRecoversBathtubShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := faultcurve.Bathtub{
+		Infancy: faultcurve.Weibull{Shape: 0.4, Scale: 3e5},
+		Floor:   faultcurve.FromAFR(0.02),
+		WearOut: faultcurve.Weibull{Shape: 6, Scale: 4 * faultcurve.HoursPerYear},
+	}
+	horizon := 5 * faultcurve.HoursPerYear
+	fleet := Generate(truth, 80_000, horizon, rng)
+	pw, err := fleet.LifeTable(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := pw.Segments[0].Rate
+	mid := pw.Segments[4].Rate
+	last := pw.Segments[9].Rate
+	if !(first > mid) {
+		t.Errorf("life table missed infant mortality: first %v !> mid %v", first, mid)
+	}
+	if !(last > mid) {
+		t.Errorf("life table missed wear-out: last %v !> mid %v", last, mid)
+	}
+}
+
+func TestLifeTableValidation(t *testing.T) {
+	f := Fleet{Horizon: 100}
+	if _, err := f.LifeTable(0); err == nil {
+		t.Error("bins=0 accepted")
+	}
+	if _, err := (Fleet{}).LifeTable(3); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestFitWeibullRecoversShapeScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := faultcurve.Weibull{Shape: 2.2, Scale: 8000}
+	// Long horizon so nearly all units fail (complete sample).
+	fleet := Generate(truth, 5000, 80_000, rng)
+	fit, err := fleet.FitWeibull()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Shape-truth.Shape) > 0.25 {
+		t.Errorf("shape %v, truth %v", fit.Shape, truth.Shape)
+	}
+	if math.Abs(fit.Scale-truth.Scale) > truth.Scale*0.1 {
+		t.Errorf("scale %v, truth %v", fit.Scale, truth.Scale)
+	}
+}
+
+func TestFitWeibullNeedsFailures(t *testing.T) {
+	f := Fleet{Units: []Unit{{Failed: true, FailedAt: 10}, {Failed: true, FailedAt: 20}}, Horizon: 100}
+	if _, err := f.FitWeibull(); err == nil {
+		t.Error("2 failures accepted")
+	}
+}
+
+func TestUnitHoursAccounting(t *testing.T) {
+	f := Fleet{
+		Units: []Unit{
+			{Failed: true, FailedAt: 50},
+			{Failed: false},
+		},
+		Horizon: 100,
+	}
+	if got := f.UnitHours(); got != 150 {
+		t.Errorf("UnitHours=%v, want 150", got)
+	}
+	if f.Failures() != 1 {
+		t.Errorf("Failures=%d", f.Failures())
+	}
+}

@@ -1,0 +1,179 @@
+// Package validate cross-checks the analytical predicates of Theorems 3.1
+// and 3.2 against the executing protocol implementations (experiments V1
+// and V2 in DESIGN.md).
+//
+// The experimental design mirrors §3's definition of a safe/live failure
+// configuration: rather than sampling rare fault events end-to-end (which
+// would need millions of runs to see a 1e-4 tail), each failure
+// configuration is *imposed* on a simulated cluster and the run's observed
+// safety (agreement) and liveness (progress) are compared with what the
+// theorem predicts for that configuration. The configuration probabilities
+// then come from the exact engine — the same factorisation the paper uses.
+package validate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/pbft"
+	"repro/internal/raft"
+	"repro/internal/sim"
+)
+
+// Outcome is one simulated run's observed properties.
+type Outcome struct {
+	Safe bool // no agreement violation observed
+	Live bool // all submitted ops committed by every correct node
+}
+
+// RaftRun simulates an n-node Raft cluster with the given nodes crashed
+// from the start (the §3 "no reconfiguration" failure configuration),
+// drives ops through it, and reports observed safety and liveness.
+func RaftRun(n int, crashed []int, ops int, seed int64) (Outcome, error) {
+	c, err := raft.NewCluster(raft.Config{N: n}, seed,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	c.Start()
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	inj.CrashSet(crashed)
+	c.DriveWorkload(200*sim.Millisecond, 50*sim.Millisecond, ops)
+	// Generous horizon: elections plus replication for every op.
+	c.RunFor(30 * sim.Second)
+	out := Outcome{
+		Safe: c.Rec.CheckAgreement() == nil,
+		Live: c.Rec.CommonPrefix(c.AliveCorrect()) >= ops,
+	}
+	return out, nil
+}
+
+// RaftLivenessMatrix runs one representative configuration per crash count
+// k = 0..n and reports whether the simulated cluster made progress,
+// alongside the Theorem 3.2 prediction. Which k nodes crash is irrelevant
+// for a homogeneous predicate, so the first k ids are used.
+func RaftLivenessMatrix(n, ops int, seed int64) ([]bool, []bool, error) {
+	model := core.NewRaft(n)
+	simLive := make([]bool, n+1)
+	predLive := make([]bool, n+1)
+	for k := 0; k <= n; k++ {
+		crashed := make([]int, k)
+		for i := range crashed {
+			crashed[i] = i
+		}
+		out, err := RaftRun(n, crashed, ops, seed+int64(k))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !out.Safe {
+			return nil, nil, fmt.Errorf("validate: agreement violated with %d crashes", k)
+		}
+		simLive[k] = out.Live
+		predLive[k] = model.Live(k, 0)
+	}
+	return simLive, predLive, nil
+}
+
+// EmpiricalRaftReliability combines the simulated per-count liveness matrix
+// with the binomial configuration weights at failure probability p — the
+// simulation-backed counterpart of a Table 2 cell. When the matrix matches
+// the theorem exactly, this equals the analytic value to float64 precision.
+func EmpiricalRaftReliability(simLive []bool, p float64) float64 {
+	n := len(simLive) - 1
+	var total dist.KahanSum
+	for k := 0; k <= n; k++ {
+		if simLive[k] {
+			total.Add(dist.BinomPMF(n, p, k))
+		}
+	}
+	return dist.Clamp01(total.Sum())
+}
+
+// PBFTRun simulates an n-node PBFT cluster with the given behaviours and
+// crash set, drives ops, and reports observed safety and liveness.
+func PBFTRun(n int, behaviors []pbft.Behavior, crashed []int, ops int, seed int64) (Outcome, error) {
+	c, err := pbft.NewCluster(pbft.Config{N: n}, behaviors, seed,
+		sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 5 * sim.Millisecond}, 0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	c.Start()
+	inj := sim.NewInjector(c.Net, c.Crashables())
+	inj.CrashSet(crashed)
+	c.DriveWorkload(10*sim.Millisecond, 100*sim.Millisecond, ops)
+	c.RunFor(60 * sim.Second)
+	return Outcome{
+		Safe: c.Rec.CheckAgreement() == nil,
+		Live: c.CommittedEverywhere() >= ops,
+	}, nil
+}
+
+// PBFTLivenessMatrix runs one configuration per Byzantine-silent count
+// b = 0..max and reports simulated progress alongside Theorem 3.1's
+// liveness prediction. Byzantine nodes are placed at the lowest ids, which
+// is adversarial for liveness: they lead the earliest views.
+func PBFTLivenessMatrix(n, maxByz, ops int, seed int64) ([]bool, []bool, error) {
+	model := defaultPBFTModel(n)
+	simLive := make([]bool, maxByz+1)
+	predLive := make([]bool, maxByz+1)
+	for b := 0; b <= maxByz; b++ {
+		behaviors := make([]pbft.Behavior, n)
+		for i := 0; i < b; i++ {
+			behaviors[i] = pbft.Silent
+		}
+		out, err := PBFTRun(n, behaviors, nil, ops, seed+int64(b))
+		if err != nil {
+			return nil, nil, err
+		}
+		if !out.Safe {
+			return nil, nil, fmt.Errorf("validate: PBFT agreement violated with %d silent nodes", b)
+		}
+		simLive[b] = out.Live
+		predLive[b] = model.Live(0, b)
+	}
+	return simLive, predLive, nil
+}
+
+func defaultPBFTModel(n int) core.PBFT {
+	f := (n - 1) / 3
+	return core.PBFT{NNodes: n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+}
+
+// PBFTEquivocationSafety checks Theorem 3.1's safety boundary empirically:
+// with textbook quorums one equivocating leader must never split agreement;
+// with an undersized non-equivocation quorum it must manage to (within the
+// given number of seeds). Returns (textbookViolated, undersizedViolated).
+func PBFTEquivocationSafety(seeds int) (bool, bool, error) {
+	textbookViolated := false
+	undersizedViolated := false
+	behaviors := []pbft.Behavior{pbft.Equivocate, pbft.Honest, pbft.Honest, pbft.Honest}
+	for s := 0; s < seeds; s++ {
+		// Textbook: N=4, QEq=3 — tolerates the equivocator.
+		c, err := pbft.NewCluster(pbft.Config{N: 4}, behaviors, int64(s),
+			sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 8 * sim.Millisecond}, 0)
+		if err != nil {
+			return false, false, err
+		}
+		c.Start()
+		c.Request()
+		c.RunFor(5 * sim.Second)
+		if c.Rec.CheckAgreement() != nil {
+			textbookViolated = true
+		}
+		// Undersized: QEq=2 violates b < 2*QEq-N for any b >= 0.
+		cfg := pbft.Config{N: 4, QEq: 2, QPer: 2, QVC: 3, QVCT: 2, ViewTimeout: 10 * sim.Second}
+		cu, err := pbft.NewCluster(cfg, behaviors, int64(s),
+			sim.UniformDelay{Min: 1 * sim.Millisecond, Max: 8 * sim.Millisecond}, 0)
+		if err != nil {
+			return false, false, err
+		}
+		cu.Start()
+		cu.Request()
+		cu.RunFor(5 * sim.Second)
+		if cu.Rec.CheckAgreement() != nil {
+			undersizedViolated = true
+		}
+	}
+	return textbookViolated, undersizedViolated, nil
+}

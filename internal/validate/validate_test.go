@@ -1,0 +1,84 @@
+package validate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestV1RaftMatrixMatchesTheorem is experiment V1: the simulated Raft
+// cluster is live under exactly the crash counts Theorem 3.2 predicts.
+func TestV1RaftMatrixMatchesTheorem(t *testing.T) {
+	for _, n := range []int{3, 5} {
+		simLive, predLive, err := RaftLivenessMatrix(n, 3, 1000+int64(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k <= n; k++ {
+			if simLive[k] != predLive[k] {
+				t.Errorf("N=%d crashes=%d: sim live=%v, theorem says %v", n, k, simLive[k], predLive[k])
+			}
+		}
+	}
+}
+
+// TestV1EmpiricalTable2Cell: when the matrix matches the predicate, the
+// simulation-weighted reliability equals the analytic Table 2 cell.
+func TestV1EmpiricalTable2Cell(t *testing.T) {
+	n := 3
+	simLive, _, err := RaftLivenessMatrix(n, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.01, 0.08} {
+		emp := EmpiricalRaftReliability(simLive, p)
+		exact := core.MustAnalyze(core.UniformCrashFleet(n, p), core.NewRaft(n)).SafeAndLive
+		if math.Abs(emp-exact) > 1e-12 {
+			t.Errorf("p=%v: empirical %v != analytic %v", p, emp, exact)
+		}
+	}
+}
+
+// TestV2PBFTMatrixMatchesTheorem is experiment V2 for liveness: silent
+// Byzantine nodes block progress exactly beyond the theorem's budget.
+func TestV2PBFTMatrixMatchesTheorem(t *testing.T) {
+	simLive, predLive, err := PBFTLivenessMatrix(4, 2, 2, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b <= 2; b++ {
+		if simLive[b] != predLive[b] {
+			t.Errorf("N=4 byz=%d: sim live=%v, theorem says %v", b, simLive[b], predLive[b])
+		}
+	}
+}
+
+// TestV2EquivocationSafetyBoundary is experiment V2 for safety: textbook
+// quorums contain an equivocating leader; undersized ones demonstrably
+// don't.
+func TestV2EquivocationSafetyBoundary(t *testing.T) {
+	textbook, undersized, err := PBFTEquivocationSafety(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if textbook {
+		t.Error("equivocator violated agreement under textbook quorums")
+	}
+	if !undersized {
+		t.Error("equivocator never split undersized quorums in 20 seeds")
+	}
+}
+
+func TestRaftRunCrashMajorityStillSafe(t *testing.T) {
+	out, err := RaftRun(5, []int{0, 1, 2}, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Safe {
+		t.Error("agreement violated under majority crash")
+	}
+	if out.Live {
+		t.Error("progress claimed despite majority crash")
+	}
+}

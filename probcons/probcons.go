@@ -1,0 +1,92 @@
+// Package probcons is the public API of the probabilistic-consensus
+// reliability library, a reproduction of "Real Life Is Uncertain. Consensus
+// Should Be Too!" (HotOS 2025).
+//
+// The core idea: consensus deployments are never 100% safe or live. Every
+// node u has a fault probability p_u (a fault curve collapsed over a
+// mission window); a protocol is safe/live in some failure configurations
+// and not in others (Theorems 3.1 and 3.2); summing configuration
+// probabilities yields the deployment's probabilistic guarantee, in nines —
+// the same way the storage community reports durability.
+//
+// Quick start:
+//
+//	res := probcons.RaftReliability(3, 0.01)         // Table 2's 99.97%
+//	fmt.Println(probcons.Percent(res.SafeAndLive))   // "99.97%"
+//	fmt.Println(probcons.NinesOf(res.SafeAndLive))   // 3.5…
+//
+// Heterogeneous fleets, PBFT, cost optimisation, committee selection,
+// MTTDL-style Markov metrics, correlated faults, and the discrete-event
+// Raft/PBFT simulator are all reachable from here; see the examples/
+// directory.
+package probcons
+
+import (
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// Re-exported core types. The facade keeps downstream imports to one
+// package for common tasks; advanced users can reach into the subsystem
+// packages directly.
+
+// Result is a deployment's probabilistic guarantee.
+type Result = core.Result
+
+// Node is one deployment server.
+type Node = core.Node
+
+// Fleet is an ordered set of servers.
+type Fleet = core.Fleet
+
+// Raft is the Theorem 3.2 protocol model.
+type Raft = core.Raft
+
+// PBFT is the Theorem 3.1 protocol model.
+type PBFT = core.PBFT
+
+// Profile is a node's (crash, Byzantine) fault probability over a window.
+type Profile = faultcurve.Profile
+
+// NewRaft returns majority-quorum Raft over n nodes.
+func NewRaft(n int) Raft { return core.NewRaft(n) }
+
+// NewPBFT returns textbook PBFT for fault threshold f (N = 3f+1).
+func NewPBFT(f int) PBFT { return core.NewPBFT(f) }
+
+// RaftReliability computes the probabilistic guarantee of an n-node
+// majority-quorum Raft cluster whose nodes each fail (crash) with
+// probability p — the Table 2 computation.
+func RaftReliability(n int, p float64) Result {
+	return core.MustAnalyze(core.UniformCrashFleet(n, p), core.NewRaft(n))
+}
+
+// PBFTReliability computes the guarantee of PBFT with the given quorum
+// sizes when every node turns Byzantine with probability p — the Table 1
+// computation.
+func PBFTReliability(m PBFT, p float64) Result {
+	return core.MustAnalyze(core.UniformByzFleet(m.NNodes, p), m)
+}
+
+// Analyze computes the exact guarantee of an arbitrary heterogeneous fleet
+// under a protocol model.
+func Analyze(fleet Fleet, m core.CountModel) (Result, error) {
+	return core.Analyze(fleet, m)
+}
+
+// CrashFleet builds a homogeneous crash-fault fleet.
+func CrashFleet(n int, p float64) Fleet { return core.UniformCrashFleet(n, p) }
+
+// ByzFleet builds a homogeneous Byzantine-fault fleet.
+func ByzFleet(n int, p float64) Fleet { return core.UniformByzFleet(n, p) }
+
+// Percent renders a probability the way the paper's tables do
+// (e.g. 0.9997 -> "99.97%").
+func Percent(p float64) string { return dist.FormatPercent(p, 2) }
+
+// NinesOf converts a probability to nines of reliability.
+func NinesOf(p float64) float64 { return dist.Nines(p) }
+
+// FromNines converts nines to a probability.
+func FromNines(n float64) float64 { return dist.FromNines(n) }

@@ -1,0 +1,71 @@
+package probcons
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+)
+
+func TestRaftReliabilityHeadline(t *testing.T) {
+	res := RaftReliability(3, 0.01)
+	if got := Percent(res.SafeAndLive); got != "99.97%" {
+		t.Errorf("headline = %s", got)
+	}
+}
+
+func TestPBFTReliabilityTable1Row(t *testing.T) {
+	m := PBFT{NNodes: 4, QEq: 3, QPer: 3, QVC: 3, QVCT: 2}
+	res := PBFTReliability(m, 0.01)
+	if got := Percent(res.SafeAndLive); got != "99.94%" {
+		t.Errorf("N=4 row = %s", got)
+	}
+}
+
+func TestNewConstructors(t *testing.T) {
+	if NewRaft(5).QPer != 3 {
+		t.Error("NewRaft majority wrong")
+	}
+	if NewPBFT(1).NNodes != 4 {
+		t.Error("NewPBFT size wrong")
+	}
+}
+
+func TestAnalyzeHeterogeneous(t *testing.T) {
+	fleet := CrashFleet(3, 0.08)
+	fleet[0].Profile = faultcurve.Crash(0.01)
+	res, err := Analyze(fleet, NewRaft(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := RaftReliability(3, 0.08)
+	if !(res.SafeAndLive > uniform.SafeAndLive) {
+		t.Error("upgrading a node must improve reliability")
+	}
+}
+
+func TestNinesRoundTrip(t *testing.T) {
+	if math.Abs(NinesOf(FromNines(4))-4) > 1e-9 {
+		t.Error("nines round trip broken")
+	}
+}
+
+func TestByzFleet(t *testing.T) {
+	f := ByzFleet(4, 0.02)
+	if len(f) != 4 || f[0].Profile.PByz != 0.02 {
+		t.Errorf("ByzFleet wrong: %+v", f[0])
+	}
+}
+
+func TestFacadeTypesInterop(t *testing.T) {
+	// The aliases must interoperate with the internal packages without
+	// conversion.
+	var fleet Fleet = core.UniformCrashFleet(3, 0.01)
+	var m Raft = core.NewRaft(3)
+	res := core.MustAnalyze(fleet, m)
+	var r Result = res
+	if r.SafeAndLive <= 0 {
+		t.Error("interop broken")
+	}
+}
