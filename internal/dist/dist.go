@@ -1,0 +1,97 @@
+// Package dist is the numeric kernel of the reproduction: probability
+// distributions and numerically careful helpers shared by every analysis
+// engine (the joint-count DP, the 3^N enumerator, the Monte-Carlo
+// samplers, the quorum metrics, and the cost/durability analyses).
+//
+// Everything here is deliberately dependency-free and allocation-light:
+// these routines sit on the hot path of O(N^3) dynamic programs and
+// million-sample Monte-Carlo loops. Three numeric policies hold
+// throughout:
+//
+//   - tails and combinatorics are computed in log space (no overflow,
+//     no catastrophic cancellation for probabilities near 0 or 1);
+//   - series are accumulated with compensated (Kahan-Neumaier)
+//     summation;
+//   - every probability returned to a caller is clamped to [0, 1], so
+//     downstream code never sees -1e-17 or 1+2e-16 from rounding.
+package dist
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Clamp01 clamps x to the closed interval [0, 1]. NaN clamps to 0 so a
+// poisoned intermediate cannot silently propagate through a report.
+func Clamp01(x float64) float64 {
+	switch {
+	case math.IsNaN(x):
+		return 0
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}
+
+// Complement returns 1-p clamped to [0, 1].
+func Complement(p float64) float64 { return Clamp01(1 - p) }
+
+// Nines converts a probability to nines of reliability:
+// Nines(0.999) = 3, Nines(0.99997) ≈ 4.5. It is computed as
+// -log1p(-p)/ln(10), which stays accurate when p is within a few ulps of
+// 1 — exactly the regime the paper's tables live in. Nines(p) for p >= 1
+// is +Inf; for p <= 0 it is 0.
+func Nines(p float64) float64 {
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	if p <= 0 {
+		return 0
+	}
+	return -math.Log1p(-p) / math.Ln10
+}
+
+// FromNines is the inverse of Nines: FromNines(3) = 0.999. Computed as
+// -expm1(-n·ln10) so that FromNines(12) keeps all its significant digits
+// instead of rounding to 1.
+func FromNines(n float64) float64 {
+	if math.IsInf(n, 1) {
+		return 1
+	}
+	if n <= 0 {
+		return 0
+	}
+	return Clamp01(-math.Expm1(-n * math.Ln10))
+}
+
+// FormatPercent renders a probability the way the paper's tables do:
+// at least digits decimal places, but expanded so the failure probability
+// keeps its leading significant digit — high-reliability cells never
+// round up to a meaningless "100.00%". Integer-valued results drop the
+// fractional part entirely.
+//
+//	FormatPercent(0.9997, 2)         = "99.97%"
+//	FormatPercent(0.9999901494, 2)   = "99.9990%"
+//	FormatPercent(0.5, 2)            = "50%"
+func FormatPercent(p float64, digits int) string {
+	if digits < 0 {
+		digits = 0
+	}
+	pct := 100 * p
+	d := digits
+	// q is the complement in percent points; -floor(log10 q) is the
+	// decimal place of its leading significant digit.
+	if q := 100 - pct; q > 0 && !math.IsInf(q, 0) {
+		if lead := -int(math.Floor(math.Log10(q))); lead > d {
+			d = lead
+		}
+	}
+	s := strconv.FormatFloat(pct, 'f', d, 64)
+	if dot := strings.IndexByte(s, '.'); dot >= 0 && strings.Trim(s[dot+1:], "0") == "" {
+		s = s[:dot]
+	}
+	return s + "%"
+}

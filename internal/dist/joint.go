@@ -1,0 +1,103 @@
+package dist
+
+// JointCrashByz is the exact joint distribution of (#crashed, #Byzantine)
+// across a fleet of independent tri-state nodes — the object at the heart
+// of the paper's count-based analysis: a protocol model is a predicate on
+// (c, b), and its probability of holding is a sum over this table.
+//
+// The table is built by a 2-D trinomial dynamic program: folding in one
+// node splits every (c, b) cell three ways (correct / crashed /
+// Byzantine). Each fold is O(i^2) over the cells reachable after i nodes,
+// so construction is O(n^3) total and O(n^2) space — exact for
+// heterogeneous fleets of any composition, with no 3^N blow-up.
+type JointCrashByz struct {
+	n int
+	// p is the (n+1)x(n+1) lower-triangular table flattened row-major:
+	// p[c*(n+1)+b] = P[exactly c crashed and b Byzantine], c+b <= n.
+	p []float64
+}
+
+// NewJointCrashByz builds the joint distribution for independent nodes.
+func NewJointCrashByz(nodes []TriState) *JointCrashByz {
+	n := len(nodes)
+	w := n + 1
+	cur := make([]float64, w*w)
+	next := make([]float64, w*w)
+	cur[0] = 1
+	for i, t := range nodes {
+		// Clamp an overfull node to a valid distribution, crash taking
+		// priority over Byzantine — the same branch order the Monte-Carlo
+		// sampler uses — so the table always sums to exactly one node's
+		// worth of mass even for un-validated inputs.
+		pc := Clamp01(t.PCrash)
+		pb := Clamp01(t.PByz)
+		if pb > 1-pc {
+			pb = 1 - pc
+		}
+		pok := 1 - pc - pb
+		for j := range next[:(i+2)*w] {
+			next[j] = 0
+		}
+		// Only cells with c+b <= i are populated after i nodes.
+		for c := 0; c <= i; c++ {
+			row := cur[c*w:]
+			for b := 0; b+c <= i; b++ {
+				m := row[b]
+				if m == 0 {
+					continue
+				}
+				next[c*w+b] += m * pok
+				next[(c+1)*w+b] += m * pc
+				next[c*w+b+1] += m * pb
+			}
+		}
+		cur, next = next, cur
+	}
+	return &JointCrashByz{n: n, p: cur}
+}
+
+// N returns the fleet size.
+func (d *JointCrashByz) N() int { return d.n }
+
+// PMF returns P[#crashed = c, #Byzantine = b]; 0 outside the triangle.
+func (d *JointCrashByz) PMF(c, b int) float64 {
+	if c < 0 || b < 0 || c+b > d.n {
+		return 0
+	}
+	return d.p[c*(d.n+1)+b]
+}
+
+// SumWhere returns the total probability mass of the cells where the
+// predicate holds — e.g. a protocol model's Safe(c, b). The sum is
+// compensated and clamped.
+func (d *JointCrashByz) SumWhere(pred func(crashed, byz int) bool) float64 {
+	var s KahanSum
+	w := d.n + 1
+	for c := 0; c <= d.n; c++ {
+		row := d.p[c*w:]
+		for b := 0; b+c <= d.n; b++ {
+			if pred(c, b) {
+				s.Add(row[b])
+			}
+		}
+	}
+	return Clamp01(s.Sum())
+}
+
+// MarginalFail returns the Poisson-binomial distribution of the total
+// number of failed nodes (#crashed + #Byzantine) implied by the joint
+// table — used by tests to cross-check the two DPs against each other.
+func (d *JointCrashByz) MarginalFail() []float64 {
+	out := make([]float64, d.n+1)
+	sums := make([]KahanSum, d.n+1)
+	w := d.n + 1
+	for c := 0; c <= d.n; c++ {
+		for b := 0; b+c <= d.n; b++ {
+			sums[c+b].Add(d.p[c*w+b])
+		}
+	}
+	for i := range sums {
+		out[i] = sums[i].Sum()
+	}
+	return out
+}

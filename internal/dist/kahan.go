@@ -1,0 +1,31 @@
+package dist
+
+import "math"
+
+// KahanSum accumulates float64 terms with Neumaier's improved
+// Kahan compensation: the running error of each addition is captured and
+// folded back in at the end. Summing the 3^N configuration probabilities
+// of a mixed fleet naively loses ~N·ulp per term; compensated summation
+// keeps the total exact to the last bit, which the cross-engine agreement
+// tests rely on. The zero value is ready to use.
+type KahanSum struct {
+	sum float64 // running sum
+	c   float64 // running compensation (captured low-order bits)
+}
+
+// Add folds x into the sum.
+func (k *KahanSum) Add(x float64) {
+	t := k.sum + x
+	if math.Abs(k.sum) >= math.Abs(x) {
+		k.c += (k.sum - t) + x
+	} else {
+		k.c += (x - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Sum returns the compensated total.
+func (k *KahanSum) Sum() float64 { return k.sum + k.c }
+
+// Reset clears the accumulator for reuse without reallocation.
+func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }

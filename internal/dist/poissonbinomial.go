@@ -1,0 +1,84 @@
+package dist
+
+// PoissonBinomial is the distribution of the number of successes among
+// independent Bernoulli trials with heterogeneous probabilities — the
+// "how many of my differently-flaky nodes failed" distribution that the
+// paper's heterogeneous-fleet analyses revolve around. The PMF is
+// materialised once at construction by the classic O(n^2) convolution DP;
+// queries are then O(1) (PMF) or O(n) with compensated summation
+// (CDF/TailGE).
+type PoissonBinomial struct {
+	pmf []float64 // pmf[k] = P[X = k], k in [0, n]
+}
+
+// NewPoissonBinomial builds the distribution of the sum of independent
+// Bernoulli(probs[i]) trials. Probabilities are clamped to [0, 1].
+// The DP invariant: after folding in trial i, pmf[k] is the probability
+// of exactly k successes among the first i trials.
+func NewPoissonBinomial(probs []float64) *PoissonBinomial {
+	pmf := make([]float64, len(probs)+1)
+	pmf[0] = 1
+	for i, p := range probs {
+		p = Clamp01(p)
+		q := 1 - p
+		// Descending k lets the update run in place: pmf[k-1] still holds
+		// the previous iteration's value when pmf[k] consumes it.
+		for k := i + 1; k >= 1; k-- {
+			pmf[k] = pmf[k]*q + pmf[k-1]*p
+		}
+		pmf[0] *= q
+	}
+	return &PoissonBinomial{pmf: pmf}
+}
+
+// N returns the number of trials.
+func (d *PoissonBinomial) N() int { return len(d.pmf) - 1 }
+
+// PMF returns P[X = k]; 0 outside [0, n].
+func (d *PoissonBinomial) PMF(k int) float64 {
+	if k < 0 || k >= len(d.pmf) {
+		return 0
+	}
+	return d.pmf[k]
+}
+
+// CDF returns P[X <= k]. The requested side is summed directly rather
+// than complemented, preserving the relative precision of deep tails
+// (see BinomCDF).
+func (d *PoissonBinomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= d.N() {
+		return 1
+	}
+	var s KahanSum
+	for i := 0; i <= k; i++ {
+		s.Add(d.pmf[i])
+	}
+	return Clamp01(s.Sum())
+}
+
+// TailGE returns P[X >= k].
+func (d *PoissonBinomial) TailGE(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	if k > d.N() {
+		return 0
+	}
+	var s KahanSum
+	for i := k; i <= d.N(); i++ {
+		s.Add(d.pmf[i])
+	}
+	return Clamp01(s.Sum())
+}
+
+// Mean returns E[X] = sum k·pmf[k].
+func (d *PoissonBinomial) Mean() float64 {
+	var s KahanSum
+	for k, p := range d.pmf {
+		s.Add(float64(k) * p)
+	}
+	return s.Sum()
+}

@@ -1,0 +1,28 @@
+package dist
+
+import "math"
+
+// WilsonInterval returns the Wilson score confidence interval for a
+// binomial proportion after observing hits successes in n trials, at
+// critical value z (1.96 for 95%). Unlike the normal approximation it
+// behaves sensibly at p-hat = 0 or 1 and for small n — important because
+// the Monte-Carlo engines routinely observe zero failures out of 10^6
+// samples and must still report a non-degenerate upper bound.
+func WilsonInterval(hits, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if hits < 0 {
+		hits = 0
+	}
+	if hits > n {
+		hits = n
+	}
+	nf := float64(n)
+	phat := float64(hits) / nf
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := phat + z2/(2*nf)
+	half := z * math.Sqrt(phat*(1-phat)/nf+z2/(4*nf*nf))
+	return Clamp01((center - half) / denom), Clamp01((center + half) / denom)
+}
