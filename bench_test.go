@@ -10,7 +10,10 @@
 package repro
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
@@ -24,6 +27,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/quorum"
 	"repro/internal/raft"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/validate"
 )
@@ -565,6 +569,148 @@ func BenchmarkE7MixedFaults(b *testing.B) {
 		e := core.ExperimentMixedFaults()
 		if e.RaftUnsafe <= 0 {
 			b.Fatal("exposure vanished")
+		}
+	}
+}
+
+// serviceBenchFleet builds the N=25 heterogeneous fleet of the serving
+// benchmarks: 25 distinct crash probabilities plus a thin Byzantine tail.
+func serviceBenchFleet(offset float64) core.Fleet {
+	fleet := make(core.Fleet, 25)
+	for i := range fleet {
+		fleet[i] = core.Node{
+			Name: fmt.Sprintf("node-%d", i),
+			Profile: faultcurve.Profile{
+				PCrash: 0.005 + float64(i)*0.002 + offset,
+				PByz:   0.0001,
+			},
+		}
+	}
+	return fleet
+}
+
+func serviceBenchRequest(offset float64) service.AnalyzeRequest {
+	fleet := serviceBenchFleet(offset)
+	nodes := make([]service.NodeSpec, len(fleet))
+	for i, n := range fleet {
+		nodes[i] = service.NodeSpec{Name: n.Name, PCrash: n.Profile.PCrash, PByz: n.Profile.PByz}
+	}
+	return service.AnalyzeRequest{
+		Model: service.ModelSpec{Protocol: "raft", N: len(fleet)},
+		Fleet: nodes,
+	}
+}
+
+// BenchmarkServiceAnalyzeCold times the serving path on all-miss traffic:
+// every iteration is a distinct N=25 heterogeneous query, so each pays
+// validation + fingerprint + the exact O(N^3) engine + cache insert.
+func BenchmarkServiceAnalyzeCold(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 4096})
+	once("service-cold", func() {
+		resp, err := srv.Analyze(serviceBenchRequest(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n[Service] N=25 heterogeneous Raft fleet: safe&live %s (%.2f nines), fingerprint %s…\n",
+			dist.FormatPercent(resp.SafeAndLive, 2), resp.Nines, resp.Fingerprint[:12])
+	})
+	req := serviceBenchRequest(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Perturb one node by an ulp-scale step: a distinct canonical
+		// query every iteration (the fingerprint is quantization-free).
+		req.Fleet[i%25].PCrash += 1e-13
+		resp, err := srv.Analyze(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("cold benchmark must miss every iteration")
+		}
+	}
+}
+
+// BenchmarkServiceAnalyzeHot times the repeated-identical-query fast path:
+// the L0 most-recent-query memo answers by value equality with no
+// canonicalization or hashing (BenchmarkServiceAnalyzeWarm covers the L1
+// fingerprint path). The acceptance bar is >= 100x faster than cold.
+func BenchmarkServiceAnalyzeHot(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 4096})
+	req := serviceBenchRequest(0)
+	if _, err := srv.Analyze(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Analyze(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("hot benchmark must hit every iteration")
+		}
+	}
+}
+
+// BenchmarkServiceAnalyzeWarm times an L1 hit: a permuted spelling of a
+// cached query misses the L0 memo and takes the canonicalize + fingerprint
+// + sharded-LRU path — the cost absorbed for reordered, renamed, or
+// repriced spellings of a known deployment.
+func BenchmarkServiceAnalyzeWarm(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 4096})
+	req := serviceBenchRequest(0)
+	if _, err := srv.Analyze(req); err != nil {
+		b.Fatal(err)
+	}
+	// Two spellings of the same canonical query, alternated: the L0 memo
+	// always holds the other one, so every iteration canonicalizes and
+	// hits L1.
+	permuted := serviceBenchRequest(0)
+	for i, j := 0, len(permuted.Fleet)-1; i < j; i, j = i+1, j-1 {
+		permuted.Fleet[i], permuted.Fleet[j] = permuted.Fleet[j], permuted.Fleet[i]
+	}
+	spellings := [2]service.AnalyzeRequest{req, permuted}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Analyze(spellings[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("warm benchmark must hit L1 every iteration")
+		}
+	}
+}
+
+// BenchmarkSweepParallel times a Table 2-shaped (n, p) grid sweep fanned
+// out over the service worker pool, streamed as JSON lines to a discarded
+// writer. Each iteration shifts the grid so every cell recomputes.
+func BenchmarkSweepParallel(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 1 << 16})
+	once("service-sweep", func() {
+		var buf bytes.Buffer
+		req := service.SweepRequest{Protocol: "raft", Ns: core.Table2Sizes(), Ps: core.Table2PUs()}
+		if err := srv.Sweep(context.Background(), req, &buf); err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n[Service] sweep of Table 2 grid: %d JSON lines, %d workers\n",
+			bytes.Count(buf.Bytes(), []byte("\n")), srv.Stats().Pool.Workers)
+	})
+	ns := []int{11, 13, 15, 17, 19, 21, 23, 25}
+	ps := []float64{0.01, 0.02, 0.04, 0.08}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shift := make([]float64, len(ps))
+		for j, p := range ps {
+			shift[j] = p + float64(i+1)*1e-13
+		}
+		req := service.SweepRequest{Protocol: "raft", Ns: ns, Ps: shift}
+		if err := srv.Sweep(context.Background(), req, io.Discard); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
+	"repro/internal/inputcheck"
 )
 
 func main() {
@@ -25,6 +26,10 @@ func main() {
 		carbon = flag.Bool("carbon", false, "minimise carbon instead of dollars")
 	)
 	flag.Parse()
+
+	// Shared with the probconsd request validator (internal/inputcheck).
+	exitOn(inputcheck.CheckNonNegative("target", *target))
+	exitOn(inputcheck.CheckClusterSize(*maxN))
 
 	tiers := []cost.Tier{
 		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
@@ -58,4 +63,11 @@ func main() {
 	fmt.Printf("\nbest plan: %v\n", plan)
 	fmt.Printf("  %.2f nines, $%.3f/h, carbon %.1f/h\n",
 		plan.Result.Nines(), plan.PricePerHour(), plan.CarbonPerHour())
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "costopt:", err)
+		os.Exit(1)
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/inputcheck"
 )
 
 func main() {
@@ -35,6 +36,12 @@ func main() {
 		printTables()
 		return
 	}
+	// Shared with the probconsd request validator: the daemon and the CLI
+	// reject the same inputs with the same messages.
+	exitOn(inputcheck.CheckClusterSize(*n))
+	exitOn(inputcheck.CheckProb("p", *p))
+	exitOn(inputcheck.CheckNodeCount("upgrade", *upgrade, *n))
+	exitOn(inputcheck.CheckProb("upgrade-p", *upgradeP))
 	if *sweep {
 		printSweep(*protocol, *n, *p)
 		return
@@ -51,8 +58,7 @@ func main() {
 		fmt.Printf("%s, p_u=%.4g (%d upgraded to %.4g)\n", model.Name(), *p, *upgrade, *upgradeP)
 		fmt.Printf("  %s\n  %.2f nines safe-and-live\n", res, res.Nines())
 	case "pbft":
-		f := (*n - 1) / 3
-		model := core.PBFT{NNodes: *n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+		model := core.NewPBFTForN(*n)
 		res, err := core.Analyze(core.UniformByzFleet(*n, *p), model)
 		exitOn(err)
 		fmt.Printf("%s, p_u=%.4g\n  %s\n  %.2f nines safe-and-live\n", model.Name(), *p, res, res.Nines())

@@ -1,0 +1,102 @@
+// Command probconsd is the probcons reliability-analysis daemon: the
+// library's exact engines behind a caching, coalescing HTTP/JSON service.
+//
+// Usage:
+//
+//	probconsd                          # serve on :8080
+//	probconsd -addr :9090 -cache 65536 -workers 16
+//
+// Endpoints:
+//
+//	POST /v1/analyze  — heterogeneous fleet + Raft/PBFT model → Result
+//	POST /v1/sweep    — (n, p) grid, streamed as JSON lines
+//	GET  /v1/tables   — the paper's Tables 1 and 2
+//	GET  /healthz     — liveness probe
+//	GET  /statsz      — cache and worker-pool counters
+//
+// Identical concurrent queries are coalesced into one computation;
+// repeated queries are served from a sharded LRU cache keyed by the
+// canonical fleet+model fingerprint. SIGINT/SIGTERM drain in-flight
+// requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		cacheSize = flag.Int("cache", 4096, "memoization cache capacity (entries)")
+		shards    = flag.Int("shards", 16, "cache shard count")
+		workers   = flag.Int("workers", runtime.NumCPU(), "sweep worker pool size")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *cacheSize, *shards, *workers, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "probconsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cacheSize, shards, workers int, drain time.Duration) error {
+	if cacheSize < 1 {
+		return fmt.Errorf("cache capacity must be >= 1, got %d", cacheSize)
+	}
+	if shards < 1 {
+		return fmt.Errorf("shard count must be >= 1, got %d", shards)
+	}
+	if workers < 1 {
+		return fmt.Errorf("worker count must be >= 1, got %d", workers)
+	}
+	srv := service.New(service.Options{
+		CacheCapacity: cacheSize,
+		CacheShards:   shards,
+		Workers:       workers,
+	})
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("probconsd: serving on %s (cache %d entries / %d shards, %d workers)\n",
+			addr, cacheSize, shards, workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Printf("probconsd: %v, draining for up to %v\n", s, drain)
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		st := srv.Stats()
+		fmt.Printf("probconsd: done; served analyze=%d sweep=%d tables=%d, cache %d/%d (hits %d, coalesced %d)\n",
+			st.Requests.Analyze, st.Requests.Sweep, st.Requests.Tables,
+			st.Cache.Entries, st.Cache.Capacity, st.Cache.Hits, st.Cache.Coalesced)
+		return nil
+	}
+}

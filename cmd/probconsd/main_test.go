@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(":0", 0, 1, 1, time.Second); err == nil {
+		t.Error("cache capacity 0 must be rejected")
+	}
+	if err := run(":0", 16, 0, 1, time.Second); err == nil {
+		t.Error("shard count 0 must be rejected")
+	}
+	if err := run(":0", 16, 1, 0, time.Second); err == nil {
+		t.Error("worker count 0 must be rejected")
+	}
+	if err := run("not-an-address", 16, 1, 1, time.Second); err == nil {
+		t.Error("unlistenable address must surface an error")
+	}
+}
+
+func TestRunGracefulShutdown(t *testing.T) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- run("127.0.0.1:0", 16, 2, 2, 2*time.Second) }()
+	// Give run() time to install its signal handler and start listening.
+	time.Sleep(300 * time.Millisecond)
+	select {
+	case err := <-errCh:
+		t.Fatalf("daemon exited early: %v", err)
+	default:
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not drain and exit after SIGTERM")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultcurve"
+	"repro/internal/inputcheck"
 	"repro/internal/pbft"
 	"repro/internal/raft"
 	"repro/internal/sim"
@@ -31,6 +32,13 @@ func main() {
 		silent   = flag.Int("silent", 0, "Byzantine-silent nodes (pbft)")
 	)
 	flag.Parse()
+
+	// Shared with the probconsd request validator (internal/inputcheck).
+	exitOn(inputcheck.CheckClusterSize(*n))
+	exitOn(inputcheck.CheckNonNegative("afr", *afr))
+	exitOn(inputcheck.CheckPositive("hours", *hours))
+	exitOn(inputcheck.CheckPositive("ops", float64(*ops)))
+	exitOn(inputcheck.CheckNodeCount("silent", *silent, *n))
 
 	switch *protocol {
 	case "raft":
@@ -96,8 +104,7 @@ func runPBFT(n, silent, ops int, seed int64) {
 	safe := c.Rec.CheckAgreement() == nil
 	live := c.CommittedEverywhere() >= ops
 	fmt.Printf("  observed: safe=%v live=%v (%s)\n", safe, live, c.Rec.Summary())
-	f := (n - 1) / 3
-	model := core.PBFT{NNodes: n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+	model := core.NewPBFTForN(n)
 	fmt.Printf("  theorem 3.1 for this configuration: safe=%v live=%v\n",
 		model.Safe(0, silent), model.Live(0, silent))
 }

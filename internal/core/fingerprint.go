@@ -1,0 +1,103 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file defines the canonical fingerprint of an analysis query
+// (fleet, model): the cache key of the serving layer (internal/qcache,
+// internal/service) and of probcons.CachedAnalyzer. Analyze is pure and
+// deterministic, so two queries with equal fingerprints have bit-identical
+// Results.
+//
+// Canonicalisation rules:
+//
+//   - Per-node profiles are encoded as the exact IEEE-754 bits of
+//     (PCrash, PByz) — quantization-free: 0.01 and 0.01+1e-17 are
+//     different keys, never silently merged.
+//   - Profiles are sorted before hashing. A CountModel's predicates see
+//     only fault *counts*, so the joint (#crashed, #Byzantine)
+//     distribution — and therefore the Result — is invariant under node
+//     permutation; sorting makes the fingerprint share that invariance.
+//   - Node names and costs are excluded: they do not influence Result.
+//   - The model contributes its protocol tag and every quorum parameter.
+//     Unknown CountModel implementations fall back to N() + Name(), which
+//     is correct as long as Name() encodes all parameters (true of every
+//     model in this repo).
+//   - A domain/version prefix keeps fingerprints from colliding with
+//     other hash uses and lets the encoding evolve.
+
+// Fingerprint is a canonical, collision-resistant identity of an
+// (analysis query → Result) pair.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex, the form used as a
+// cache key and surfaced in service responses.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+const fingerprintDomain = "probcons-query-v1"
+
+// FleetModelFingerprint computes the canonical fingerprint of analysing
+// fleet under m. It validates the fleet so that a fingerprint is only
+// ever issued for a query Analyze would accept. The encoding is built in
+// one contiguous buffer and hashed with a single Sum256 call: this sits on
+// the serving layer's cache-miss path.
+func FleetModelFingerprint(fleet Fleet, m CountModel) (Fingerprint, error) {
+	if len(fleet) != m.N() {
+		return Fingerprint{}, fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
+	}
+	if err := fleet.Validate(); err != nil {
+		return Fingerprint{}, err
+	}
+	buf := make([]byte, 0, 96+16*len(fleet))
+	buf = append(buf, fingerprintDomain...)
+
+	appendU64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
+	appendStr := func(s string) {
+		appendU64(uint64(len(s)))
+		buf = append(buf, s...)
+	}
+
+	switch mm := m.(type) {
+	case Raft:
+		appendStr("raft")
+		appendU64(uint64(mm.NNodes))
+		appendU64(uint64(mm.QPer))
+		appendU64(uint64(mm.QVC))
+	case PBFT:
+		appendStr("pbft")
+		appendU64(uint64(mm.NNodes))
+		appendU64(uint64(mm.QEq))
+		appendU64(uint64(mm.QPer))
+		appendU64(uint64(mm.QVC))
+		appendU64(uint64(mm.QVCT))
+	default:
+		appendStr("model")
+		appendU64(uint64(m.N()))
+		appendStr(m.Name())
+	}
+
+	// Sorted (PCrash, PByz) bit pairs: permutation-invariant, exact.
+	keys := make([][2]uint64, len(fleet))
+	for i := range fleet {
+		p := fleet[i].Profile
+		keys[i] = [2]uint64{math.Float64bits(p.PCrash), math.Float64bits(p.PByz)}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	appendU64(uint64(len(keys)))
+	for _, k := range keys {
+		appendU64(k[0])
+		appendU64(k[1])
+	}
+	return sha256.Sum256(buf), nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+func fp(t *testing.T, fleet Fleet, m CountModel) Fingerprint {
+	t.Helper()
+	f, err := FleetModelFingerprint(fleet, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	fleet := UniformCrashFleet(5, 0.02)
+	m := NewRaft(5)
+	if fp(t, fleet, m) != fp(t, fleet, m) {
+		t.Fatal("same query must fingerprint identically")
+	}
+}
+
+func TestFingerprintPermutationInvariant(t *testing.T) {
+	a := UniformCrashFleet(4, 0.02)
+	a[0].Profile = faultcurve.Crash(0.01)
+	a[2].Profile = faultcurve.Profile{PCrash: 0.03, PByz: 0.001}
+
+	b := make(Fleet, len(a))
+	b[0], b[1], b[2], b[3] = a[2], a[3], a[0], a[1]
+
+	m := NewRaft(4)
+	if fp(t, a, m) != fp(t, b, m) {
+		t.Fatal("fingerprint must be invariant under node permutation")
+	}
+	// Sanity: the Results really are permutation-invariant too.
+	ra := MustAnalyze(a, m)
+	rb := MustAnalyze(b, m)
+	if ra != rb {
+		t.Fatal("Analyze itself should be permutation-invariant")
+	}
+}
+
+func TestFingerprintIgnoresNamesAndCost(t *testing.T) {
+	a := UniformCrashFleet(3, 0.05)
+	b := UniformCrashFleet(3, 0.05)
+	for i := range b {
+		b[i].Name = "renamed"
+		b[i].CostPerHour = 99.0
+	}
+	if fp(t, a, NewRaft(3)) != fp(t, b, NewRaft(3)) {
+		t.Fatal("names and cost must not affect the fingerprint")
+	}
+}
+
+func TestFingerprintQuantizationFree(t *testing.T) {
+	a := UniformCrashFleet(3, 0.01)
+	b := UniformCrashFleet(3, 0.01)
+	b[0].Profile.PCrash = math.Nextafter(0.01, 1) // 1 ulp apart
+	if fp(t, a, NewRaft(3)) == fp(t, b, NewRaft(3)) {
+		t.Fatal("1-ulp profile difference must change the fingerprint")
+	}
+}
+
+func TestFingerprintSeparatesCrashFromByz(t *testing.T) {
+	crash := UniformCrashFleet(4, 0.02)
+	byz := UniformByzFleet(4, 0.02)
+	m := NewPBFT(1)
+	if fp(t, crash, m) == fp(t, byz, m) {
+		t.Fatal("crash and Byzantine mass must not be conflated")
+	}
+}
+
+func TestFingerprintSeparatesModels(t *testing.T) {
+	fleet := UniformCrashFleet(4, 0.02)
+	raft := Raft{NNodes: 4, QPer: 3, QVC: 3}
+	pbft := NewPBFT(1)
+	if fp(t, fleet, raft) == fp(t, fleet, pbft) {
+		t.Fatal("protocols must fingerprint differently")
+	}
+	raft2 := Raft{NNodes: 4, QPer: 3, QVC: 4}
+	if fp(t, fleet, raft) == fp(t, fleet, raft2) {
+		t.Fatal("quorum parameters must be part of the fingerprint")
+	}
+	pbft2 := pbft
+	pbft2.QVCT = 3
+	if fp(t, fleet, pbft) == fp(t, fleet, pbft2) {
+		t.Fatal("QVCT must be part of the fingerprint")
+	}
+}
+
+func TestFingerprintRejectsInvalidQueries(t *testing.T) {
+	if _, err := FleetModelFingerprint(UniformCrashFleet(3, 0.01), NewRaft(5)); err == nil {
+		t.Fatal("size mismatch must be rejected")
+	}
+	bad := UniformCrashFleet(3, 0.01)
+	bad[1].Profile.PCrash = 1.5
+	if _, err := FleetModelFingerprint(bad, NewRaft(3)); err == nil {
+		t.Fatal("invalid profile must be rejected")
+	}
+}
+
+func TestFingerprintStringIsHex(t *testing.T) {
+	s := fp(t, UniformCrashFleet(3, 0.01), NewRaft(3)).String()
+	if len(s) != 64 {
+		t.Fatalf("hex fingerprint length = %d, want 64", len(s))
+	}
+}

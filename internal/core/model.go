@@ -115,6 +115,15 @@ func NewPBFT(f int) PBFT {
 	return PBFT{NNodes: 3*f + 1, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
 }
 
+// NewPBFTForN returns the textbook PBFT deployment over n nodes: the
+// tolerated fault threshold is f = (n-1)/3, quorums 2f+1, trigger f+1.
+// This is the single home of that derivation — the serving layer, the
+// validation harness, and the CLIs all default through it.
+func NewPBFTForN(n int) PBFT {
+	f := (n - 1) / 3
+	return PBFT{NNodes: n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+}
+
 // N implements CountModel.
 func (p PBFT) N() int { return p.NNodes }
 

@@ -1,0 +1,77 @@
+// Package inputcheck is the input-validation vocabulary shared by the
+// service's request validator (internal/service) and the CLIs (cmd/nines,
+// cmd/probsim, cmd/costopt): one place decides what a legal cluster size,
+// probability, or node count is, so the daemon and the one-shot tools
+// reject the same inputs with the same messages. It is a leaf package —
+// the CLIs can use it without linking the serving stack.
+package inputcheck
+
+import (
+	"fmt"
+	"math"
+)
+
+// MaxClusterSize bounds a single analysis query. The exact engine is
+// O(N^3) time and allocates two (N+1)^2 float64 tables: N=1024 is ~1e9 DP
+// cell updates and ~17 MB — seconds of work, far past any real deployment,
+// and the most a serving request may pin a worker slot on.
+const MaxClusterSize = 1024
+
+// CheckClusterSize rejects non-positive and absurdly large cluster sizes.
+func CheckClusterSize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("cluster size must be >= 1, got %d", n)
+	}
+	if n > MaxClusterSize {
+		return fmt.Errorf("cluster size %d exceeds maximum %d", n, MaxClusterSize)
+	}
+	return nil
+}
+
+// CheckProb rejects probabilities outside [0, 1] (including NaN).
+func CheckProb(name string, p float64) error {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return fmt.Errorf("%s must be a probability in [0, 1], got %v", name, p)
+	}
+	return nil
+}
+
+// CheckProfile rejects (crash, byz) pairs whose total exceeds 1.
+func CheckProfile(pCrash, pByz float64) error {
+	if err := CheckProb("p_crash", pCrash); err != nil {
+		return err
+	}
+	if err := CheckProb("p_byz", pByz); err != nil {
+		return err
+	}
+	if pCrash+pByz > 1 {
+		return fmt.Errorf("p_crash + p_byz must be <= 1, got %v + %v", pCrash, pByz)
+	}
+	return nil
+}
+
+// CheckNodeCount rejects node-subset counts outside [0, n] — upgraded
+// nodes in cmd/nines, Byzantine-silent nodes in cmd/probsim.
+func CheckNodeCount(name string, count, n int) error {
+	if count < 0 || count > n {
+		return fmt.Errorf("%s must be in [0, %d], got %d", name, n, count)
+	}
+	return nil
+}
+
+// CheckPositive rejects non-positive values for quantities that must be
+// strictly positive (hours, sample counts, op counts, fleet bounds).
+func CheckPositive(name string, v float64) error {
+	if math.IsNaN(v) || v <= 0 {
+		return fmt.Errorf("%s must be > 0, got %v", name, v)
+	}
+	return nil
+}
+
+// CheckNonNegative rejects negative values (rates, nines targets).
+func CheckNonNegative(name string, v float64) error {
+	if math.IsNaN(v) || v < 0 {
+		return fmt.Errorf("%s must be >= 0, got %v", name, v)
+	}
+	return nil
+}

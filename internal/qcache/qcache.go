@@ -1,0 +1,241 @@
+// Package qcache is the memoization layer of the probcons serving stack: a
+// sharded LRU cache with singleflight coalescing of concurrent identical
+// computations.
+//
+// The analysis engine (internal/core.Analyze) is pure and deterministic,
+// so its results can be memoized indefinitely under the canonical query
+// fingerprint (core.FleetModelFingerprint). Sharding keeps lock contention
+// bounded under concurrent serving load; singleflight guarantees that K
+// simultaneous identical queries cost exactly one O(N^3) computation — the
+// other K-1 callers block on the first caller's result. Failed
+// computations are never cached, so transient errors do not poison the
+// cache.
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that ran the compute function.
+	Misses int64 `json:"misses"`
+	// Coalesced counts lookups that piggybacked on an identical in-flight
+	// computation instead of starting their own (the singleflight wins).
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts entries dropped by the LRU policy.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached values across all shards.
+	Entries int `json:"entries"`
+	// Capacity is the total configured capacity across all shards.
+	Capacity int `json:"capacity"`
+	// Shards is the shard count.
+	Shards int `json:"shards"`
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// call is one in-flight computation other callers can wait on.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	items    map[string]*list.Element // key -> *entry in order
+	order    *list.List               // front = most recently used
+	inflight map[string]*call[V]
+	capacity int
+}
+
+// Cache is a sharded LRU memoization cache. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[V any] struct {
+	shards    []*shard[V]
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// New builds a cache holding up to capacity entries spread over nshards
+// shards. Out-of-range arguments are clamped: capacity to >= 1, nshards to
+// [1, capacity]. Per-shard capacity is rounded up, so the effective total
+// capacity is at most capacity+nshards-1.
+func New[V any](capacity, nshards int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > capacity {
+		nshards = capacity
+	}
+	perShard := (capacity + nshards - 1) / nshards
+	c := &Cache[V]{shards: make([]*shard[V], nshards)}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			items:    make(map[string]*list.Element),
+			order:    list.New(),
+			inflight: make(map[string]*call[V]),
+			capacity: perShard,
+		}
+	}
+	return c
+}
+
+// fnv64a is inlined to keep shard selection allocation-free.
+func fnv64a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	return c.shards[fnv64a(key)%uint64(len(c.shards))]
+}
+
+// Get returns the cached value for key, if present, refreshing its
+// recency. It never triggers a computation.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Do returns the memoized value for key, computing it with compute on a
+// miss. Concurrent Do calls for the same key are coalesced: exactly one
+// runs compute, the rest wait and share its result. The bool reports
+// whether the value came from the cache (true) rather than from a fresh or
+// coalesced computation (false). Errors are returned to every waiter of
+// that flight but are not cached. A panicking compute is converted into an
+// error for every waiter — the flight is always resolved, so no caller can
+// hang on a dead key.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, cached bool, err error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
+		c.hits.Add(1)
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-fl.done
+		return fl.val, false, fl.err
+	}
+	fl := &call[V]{done: make(chan struct{})}
+	s.inflight[key] = fl
+	c.misses.Add(1)
+	s.mu.Unlock()
+
+	// The flight must resolve on every exit path — normal return, panic,
+	// or runtime.Goexit — or waiters would block forever and every later
+	// Do for this key would coalesce onto the dead flight.
+	normal := false
+	defer func() {
+		if !normal {
+			if r := recover(); r != nil {
+				fl.err = fmt.Errorf("qcache: compute for %q panicked: %v", key, r)
+			} else {
+				fl.err = fmt.Errorf("qcache: compute for %q exited without returning", key)
+			}
+			err = fl.err
+		}
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if fl.err == nil {
+			s.insertLocked(c, key, fl.val)
+		}
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = compute()
+	normal = true
+	return fl.val, false, fl.err
+}
+
+// Put stores a value directly, bypassing singleflight. It exists for
+// warm-up paths; Do is the normal entry point.
+func (c *Cache[V]) Put(key string, val V) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insertLocked(c, key, val)
+}
+
+// insertLocked adds or refreshes an entry, evicting from the tail when
+// over capacity. The existence check matters on the Do path too: a Put for
+// the same key can land while a flight is computing, and a blind PushFront
+// would orphan the earlier list element. Caller holds s.mu.
+func (s *shard[V]) insertLocked(c *Cache[V], key string, val V) {
+	if el, ok := s.items[key]; ok {
+		el.Value.(*entry[V]).val = val
+		s.order.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.order.PushFront(&entry[V]{key: key, val: val})
+	for s.order.Len() > s.capacity {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*entry[V]).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[V]) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Shards:    len(c.shards),
+	}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Entries += s.order.Len()
+		st.Capacity += s.capacity
+		s.mu.Unlock()
+	}
+	return st
+}

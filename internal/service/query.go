@@ -1,0 +1,257 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+	"repro/internal/inputcheck"
+)
+
+// This file defines the canonical query model of the serving layer: the
+// wire requests, their validation, and their translation into the exact
+// (core.Fleet, core.CountModel) pair whose fingerprint keys the cache.
+
+// ModelSpec names a protocol model on the wire. Zero-valued quorum fields
+// take the protocol's textbook defaults: majority quorums for Raft;
+// 2f+1/f+1 quorums with f = (n-1)/3 for PBFT.
+type ModelSpec struct {
+	Protocol string `json:"protocol"` // "raft" or "pbft"
+	N        int    `json:"n"`
+	QPer     int    `json:"q_per,omitempty"`
+	QVC      int    `json:"q_vc,omitempty"`
+	QEq      int    `json:"q_eq,omitempty"`  // pbft only
+	QVCT     int    `json:"q_vct,omitempty"` // pbft only
+}
+
+// Model resolves the spec into a validated core.CountModel.
+func (ms ModelSpec) Model() (core.CountModel, error) {
+	if err := inputcheck.CheckClusterSize(ms.N); err != nil {
+		return nil, err
+	}
+	switch ms.Protocol {
+	case "raft":
+		if ms.QEq != 0 || ms.QVCT != 0 {
+			return nil, fmt.Errorf("q_eq/q_vct are PBFT parameters, not valid for raft")
+		}
+		m := core.NewRaft(ms.N)
+		if ms.QPer != 0 {
+			m.QPer = ms.QPer
+		}
+		if ms.QVC != 0 {
+			m.QVC = ms.QVC
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "pbft":
+		m := core.NewPBFTForN(ms.N)
+		if ms.QEq != 0 {
+			m.QEq = ms.QEq
+		}
+		if ms.QPer != 0 {
+			m.QPer = ms.QPer
+		}
+		if ms.QVC != 0 {
+			m.QVC = ms.QVC
+		}
+		if ms.QVCT != 0 {
+			m.QVCT = ms.QVCT
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case "":
+		return nil, fmt.Errorf("model.protocol is required (raft or pbft)")
+	default:
+		return nil, fmt.Errorf("unknown protocol %q (want raft or pbft)", ms.Protocol)
+	}
+}
+
+// NodeSpec is one server of a heterogeneous fleet on the wire.
+type NodeSpec struct {
+	Name   string  `json:"name,omitempty"`
+	PCrash float64 `json:"p_crash"`
+	PByz   float64 `json:"p_byz"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze. The fleet is given
+// either explicitly (fleet, heterogeneous) or as a uniform per-node fault
+// probability p (crash mass for raft, Byzantine mass for pbft — the
+// Table 2 and Table 1 conventions).
+type AnalyzeRequest struct {
+	Model ModelSpec  `json:"model"`
+	Fleet []NodeSpec `json:"fleet,omitempty"`
+	P     *float64   `json:"p,omitempty"`
+}
+
+// Query resolves and validates the request into the exact analysis
+// inputs. All validation errors are client errors (HTTP 400).
+func (r AnalyzeRequest) Query() (core.Fleet, core.CountModel, error) {
+	m, err := r.Model.Model()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case len(r.Fleet) > 0 && r.P != nil:
+		return nil, nil, fmt.Errorf("give either fleet or p, not both")
+	case len(r.Fleet) > 0:
+		if len(r.Fleet) != m.N() {
+			return nil, nil, fmt.Errorf("fleet has %d nodes but model.n is %d", len(r.Fleet), m.N())
+		}
+		fleet := make(core.Fleet, len(r.Fleet))
+		for i, ns := range r.Fleet {
+			if err := inputcheck.CheckProfile(ns.PCrash, ns.PByz); err != nil {
+				return nil, nil, fmt.Errorf("fleet[%d]: %w", i, err)
+			}
+			fleet[i] = core.Node{
+				Name:    ns.Name,
+				Profile: faultcurve.Profile{PCrash: ns.PCrash, PByz: ns.PByz},
+			}
+		}
+		return fleet, m, nil
+	case r.P != nil:
+		if err := inputcheck.CheckProb("p", *r.P); err != nil {
+			return nil, nil, err
+		}
+		if r.Model.Protocol == "pbft" {
+			return core.UniformByzFleet(m.N(), *r.P), m, nil
+		}
+		return core.UniformCrashFleet(m.N(), *r.P), m, nil
+	default:
+		return nil, nil, fmt.Errorf("give a fleet or a uniform p")
+	}
+}
+
+// MaxNines caps nines renderings on the wire. float64 cannot represent
+// probabilities closer to 1 than ~1.1e-16, so dist.Nines saturates to +Inf
+// there — which JSON cannot encode. 16 nines marks "indistinguishable from
+// certain at float64 resolution".
+const MaxNines = 16
+
+func jsonNines(p float64) float64 {
+	n := dist.Nines(p)
+	if n > MaxNines || math.IsInf(n, 1) {
+		return MaxNines
+	}
+	return n
+}
+
+// PercentView renders the three probabilities in the paper's style.
+type PercentView struct {
+	Safe        string `json:"safe"`
+	Live        string `json:"live"`
+	SafeAndLive string `json:"safe_and_live"`
+}
+
+// AnalyzeResponse is the body of a POST /v1/analyze answer: the exact
+// probabilities plus the percent and nines renderings of the paper.
+type AnalyzeResponse struct {
+	Model       string      `json:"model"`
+	Safe        float64     `json:"safe"`
+	Live        float64     `json:"live"`
+	SafeAndLive float64     `json:"safe_and_live"`
+	Percent     PercentView `json:"percent"`
+	Nines       float64     `json:"nines"`
+	Fingerprint string      `json:"fingerprint"`
+	Cached      bool        `json:"cached"`
+}
+
+func newAnalyzeResponse(m core.CountModel, res core.Result, fp string, cached bool) AnalyzeResponse {
+	return AnalyzeResponse{
+		Model:       m.Name(),
+		Safe:        res.Safe,
+		Live:        res.Live,
+		SafeAndLive: res.SafeAndLive,
+		Percent: PercentView{
+			Safe:        dist.FormatPercent(res.Safe, 2),
+			Live:        dist.FormatPercent(res.Live, 2),
+			SafeAndLive: dist.FormatPercent(res.SafeAndLive, 2),
+		},
+		Nines:       jsonNines(res.SafeAndLive),
+		Fingerprint: fp,
+		Cached:      cached,
+	}
+}
+
+// SweepRequest is the body of POST /v1/sweep: the (n, p) grid of uniform
+// fleets to analyze, fanned out over the worker pool and streamed back as
+// JSON lines in grid order (ns outer, ps inner).
+type SweepRequest struct {
+	Protocol string    `json:"protocol"` // "raft" or "pbft"
+	Ns       []int     `json:"ns"`
+	Ps       []float64 `json:"ps"`
+}
+
+// MaxSweepCells bounds one sweep request's grid size; MaxSweepWork bounds
+// its total engine cost (sum of n^3 over all cells — the O(N^3) DP unit).
+// 2e10 is roughly a minute of single-core work: big enough for any
+// paper-style grid, small enough that one request cannot occupy the pool
+// indefinitely. Per-cell size alone would not do: 65536 cells of N=1024
+// would otherwise be CPU-days.
+const (
+	MaxSweepCells = 65536
+	MaxSweepWork  = 2e10
+)
+
+// Validate checks the grid before any work is scheduled.
+func (r SweepRequest) Validate() error {
+	if r.Protocol != "raft" && r.Protocol != "pbft" {
+		return fmt.Errorf("unknown protocol %q (want raft or pbft)", r.Protocol)
+	}
+	if len(r.Ns) == 0 || len(r.Ps) == 0 {
+		return fmt.Errorf("ns and ps must both be non-empty")
+	}
+	if cells := len(r.Ns) * len(r.Ps); cells > MaxSweepCells {
+		return fmt.Errorf("sweep grid has %d cells, maximum is %d", cells, MaxSweepCells)
+	}
+	var work float64
+	for _, n := range r.Ns {
+		if err := inputcheck.CheckClusterSize(n); err != nil {
+			return err
+		}
+		work += float64(n) * float64(n) * float64(n)
+	}
+	if work *= float64(len(r.Ps)); work > MaxSweepWork {
+		return fmt.Errorf("sweep grid needs ~%.2g engine operations, maximum is %.2g", work, float64(MaxSweepWork))
+	}
+	for _, p := range r.Ps {
+		if err := inputcheck.CheckProb("p", p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SweepLine is one JSON line of a sweep stream.
+type SweepLine struct {
+	N           int     `json:"n"`
+	P           float64 `json:"p"`
+	Model       string  `json:"model"`
+	Safe        float64 `json:"safe"`
+	Live        float64 `json:"live"`
+	SafeAndLive float64 `json:"safe_and_live"`
+	Nines       float64 `json:"nines"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// TableRowView is one row of GET /v1/tables, shared by both tables.
+type TableRowView struct {
+	Model       string      `json:"model"`
+	PU          float64     `json:"p_u"`
+	Safe        float64     `json:"safe"`
+	Live        float64     `json:"live"`
+	SafeAndLive float64     `json:"safe_and_live"`
+	Percent     PercentView `json:"percent"`
+}
+
+// TablesResponse is the body of GET /v1/tables: the paper's Table 1
+// (PBFT at p_u = 1%) and Table 2 (Raft at the four p_u columns).
+type TablesResponse struct {
+	Table1 []TableRowView `json:"table1"`
+	Table2 []TableRowView `json:"table2"`
+}

@@ -1,0 +1,498 @@
+// Package service is the serving layer of the probcons analyzer: HTTP/JSON
+// handlers over the exact engine, with request validation, a sharded
+// memoization cache keyed by the canonical query fingerprint, singleflight
+// coalescing of concurrent identical queries, and a bounded worker pool for
+// grid sweeps.
+//
+// Endpoints:
+//
+//	POST /v1/analyze  — one fleet + model → exact Result (percent + nines)
+//	POST /v1/sweep    — (n, p) grid → JSON lines, fanned over the pool
+//	GET  /v1/tables   — paper Tables 1–2, cached after first computation
+//	GET  /healthz     — liveness probe
+//	GET  /statsz      — cache, pool, and request counters
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/qcache"
+)
+
+// Options configures a Server. Zero values take defaults.
+type Options struct {
+	// CacheCapacity is the total number of memoized Results (default 4096).
+	CacheCapacity int
+	// CacheShards is the cache shard count (default 16).
+	CacheShards int
+	// Workers bounds concurrent engine computations — analyze misses and
+	// sweep cells alike (default NumCPU). Cache hits are never gated.
+	Workers int
+	// AnalyzeFunc computes one query; defaults to core.Analyze. Tests
+	// instrument it to count underlying engine calls.
+	AnalyzeFunc func(core.Fleet, core.CountModel) (core.Result, error)
+}
+
+// Server is the probconsd request handler: stateless except for the
+// caches and counters, so one instance serves arbitrary concurrency.
+//
+// Caching is two-level. L0 is a most-recent-query memo checked by plain
+// value equality — no canonicalization, no hashing — so the common serving
+// pattern of the same query arriving back-to-back (dashboards polling one
+// deployment) costs a slice comparison. L1 is the sharded LRU keyed by the
+// canonical fleet+model fingerprint, which additionally absorbs permuted,
+// renamed, or repriced spellings of the same query and coalesces
+// concurrent identical misses into one engine call.
+type Server struct {
+	cache   *qcache.Cache[AnalyzeResponse]
+	memo    atomic.Pointer[memoEntry]
+	analyze func(core.Fleet, core.CountModel) (core.Result, error)
+	workers int
+	sem     chan struct{}
+	start   time.Time
+
+	memoHits    atomic.Int64
+	reqAnalyze  atomic.Int64
+	reqSweep    atomic.Int64
+	reqTables   atomic.Int64
+	sweepCells  atomic.Int64
+	activeCells atomic.Int64
+}
+
+// memoEntry is the L0 cache line: one fully-rendered response plus a
+// private copy of the request that produced it.
+type memoEntry struct {
+	req  AnalyzeRequest
+	resp AnalyzeResponse
+}
+
+// equalRequests reports value equality of two analyze requests. NaN
+// probabilities compare unequal and fall through to validation, which
+// rejects them.
+func equalRequests(a, b AnalyzeRequest) bool {
+	if a.Model != b.Model || len(a.Fleet) != len(b.Fleet) {
+		return false
+	}
+	if (a.P == nil) != (b.P == nil) {
+		return false
+	}
+	if a.P != nil && *a.P != *b.P {
+		return false
+	}
+	for i := range a.Fleet {
+		if a.Fleet[i] != b.Fleet[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = 4096
+	}
+	if opts.CacheShards <= 0 {
+		opts.CacheShards = 16
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.AnalyzeFunc == nil {
+		opts.AnalyzeFunc = core.Analyze
+	}
+	return &Server{
+		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
+		analyze: opts.AnalyzeFunc,
+		workers: opts.Workers,
+		sem:     make(chan struct{}, opts.Workers),
+		start:   time.Now(),
+	}
+}
+
+// clientError marks a validation failure: reported as HTTP 400, never 500.
+type clientError struct{ err error }
+
+func (e clientError) Error() string { return e.err.Error() }
+func (e clientError) Unwrap() error { return e.err }
+
+func badRequest(err error) error { return clientError{err} }
+
+// IsClientError reports whether err is a request-validation failure.
+func IsClientError(err error) bool {
+	var ce clientError
+	return errors.As(err, &ce)
+}
+
+// Analyze resolves, validates, and answers one analyze query through the
+// two-level cache. It is the handler's core and the service benchmark
+// entry point.
+func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
+	// L0: the exact same query as last time short-circuits everything.
+	if e := s.memo.Load(); e != nil && equalRequests(e.req, req) {
+		s.memoHits.Add(1)
+		resp := e.resp
+		resp.Cached = true
+		return resp, nil
+	}
+	fleet, m, err := req.Query()
+	if err != nil {
+		return AnalyzeResponse{}, badRequest(err)
+	}
+	resp, err := s.analyzeQuery(fleet, m)
+	if err != nil {
+		return AnalyzeResponse{}, err
+	}
+	// Install in L0 with a private copy of the request: callers remain
+	// free to mutate their fleet slice afterwards.
+	cp := req
+	cp.Fleet = append([]NodeSpec(nil), req.Fleet...)
+	if req.P != nil {
+		p := *req.P
+		cp.P = &p
+	}
+	s.memo.Store(&memoEntry{req: cp, resp: resp})
+	return resp, nil
+}
+
+// analyzeQuery memoizes one already-validated query in L1, caching the
+// fully-rendered response so hits skip percent/nines formatting too. The
+// engine run (but never a cache hit) waits for a worker-pool slot, so a
+// burst of distinct O(N^3) queries cannot pin every CPU. Only engine
+// computes take slots and computes wait for nothing else, so no hold-and-
+// wait cycle exists.
+func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel) (AnalyzeResponse, error) {
+	fp, err := core.FleetModelFingerprint(fleet, m)
+	if err != nil {
+		return AnalyzeResponse{}, badRequest(err)
+	}
+	resp, cached, err := s.cache.Do(fp.String(), func() (AnalyzeResponse, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		res, err := s.analyze(fleet, m)
+		if err != nil {
+			return AnalyzeResponse{}, err
+		}
+		return newAnalyzeResponse(m, res, fp.String(), false), nil
+	})
+	if err != nil {
+		return AnalyzeResponse{}, fmt.Errorf("analysis failed: %w", err)
+	}
+	resp.Cached = cached
+	return resp, nil
+}
+
+// Sweep validates the request, then computes its (n, p) grid with up to
+// Workers cells in flight and writes one JSON line per cell to w in grid
+// order (ns outer, ps inner), flushing after each line when w supports it.
+// Cell-level failures are reported in the cell's line; the stream itself
+// completes unless ctx is cancelled (client disconnect), which stops
+// scheduling promptly — cells already computing finish and are cached.
+func (s *Server) Sweep(ctx context.Context, req SweepRequest, w io.Writer) error {
+	if err := req.Validate(); err != nil {
+		return badRequest(err)
+	}
+	return s.sweepValidated(ctx, req, w)
+}
+
+// sweepValidated is Sweep after request validation.
+func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writer) error {
+	// Stop the spawner on every exit path — client disconnect (parent ctx)
+	// or writer error (early return) — not just external cancellation.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type cell struct{ n, p int } // indices into req.Ns / req.Ps
+	cells := make([]cell, 0, len(req.Ns)*len(req.Ps))
+	for ni := range req.Ns {
+		for pi := range req.Ps {
+			cells = append(cells, cell{ni, pi})
+		}
+	}
+	out := make([]chan SweepLine, len(cells))
+	for i := range out {
+		out[i] = make(chan SweepLine, 1)
+	}
+	// Engine concurrency is bounded by the shared worker pool inside
+	// analyzeQuery. This local window provides backpressure against a
+	// slow-reading client: tokens are released by the *writer* as lines
+	// are consumed, so the spawner never runs more than Workers cells
+	// ahead of the stream. Cell goroutines only write to their buffered
+	// slot, so they never block.
+	spawn := make(chan struct{}, s.workers)
+	go func() {
+		for i, c := range cells {
+			i, n, p := i, req.Ns[c.n], req.Ps[c.p]
+			select {
+			case <-ctx.Done():
+				return
+			case spawn <- struct{}{}:
+			}
+			go func() {
+				s.activeCells.Add(1)
+				line := s.sweepCell(req.Protocol, n, p)
+				s.activeCells.Add(-1)
+				s.sweepCells.Add(1)
+				out[i] <- line
+			}()
+		}
+	}()
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := range cells {
+		var line SweepLine
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case line = <-out[i]:
+		}
+		<-spawn // consumed: let the spawner schedule the next cell
+		if err := enc.Encode(line); err != nil {
+			return err // client went away; in-flight cells drain via the buffered channels
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	return nil
+}
+
+// sweepCell answers one grid point through the L1 cache directly: the
+// request was validated up front, and going through Analyze would clobber
+// the single-entry L0 memo once per cell.
+func (s *Server) sweepCell(protocol string, n int, p float64) SweepLine {
+	line := SweepLine{N: n, P: p}
+	m, err := ModelSpec{Protocol: protocol, N: n}.Model()
+	if err != nil {
+		line.Error = err.Error()
+		return line
+	}
+	fleet := core.UniformCrashFleet(n, p)
+	if protocol == "pbft" {
+		fleet = core.UniformByzFleet(n, p)
+	}
+	resp, err := s.analyzeQuery(fleet, m)
+	if err != nil {
+		line.Error = err.Error()
+		return line
+	}
+	line.Model = resp.Model
+	line.Safe = resp.Safe
+	line.Live = resp.Live
+	line.SafeAndLive = resp.SafeAndLive
+	line.Nines = resp.Nines
+	return line
+}
+
+// Tables regenerates the paper's Tables 1–2 through the cache: the first
+// call computes 4 + 16 analyses, every later call is all cache hits.
+func (s *Server) Tables() (TablesResponse, error) {
+	var out TablesResponse
+	for _, m := range core.Table1Configs() {
+		const pu = 0.01
+		resp, err := s.analyzeQuery(core.UniformByzFleet(m.NNodes, pu), m)
+		if err != nil {
+			return TablesResponse{}, err
+		}
+		out.Table1 = append(out.Table1, tableRow(resp, pu))
+	}
+	for _, n := range core.Table2Sizes() {
+		m := core.NewRaft(n)
+		for _, pu := range core.Table2PUs() {
+			resp, err := s.analyzeQuery(core.UniformCrashFleet(n, pu), m)
+			if err != nil {
+				return TablesResponse{}, err
+			}
+			out.Table2 = append(out.Table2, tableRow(resp, pu))
+		}
+	}
+	return out, nil
+}
+
+func tableRow(resp AnalyzeResponse, pu float64) TableRowView {
+	return TableRowView{
+		Model:       resp.Model,
+		PU:          pu,
+		Safe:        resp.Safe,
+		Live:        resp.Live,
+		SafeAndLive: resp.SafeAndLive,
+		Percent:     resp.Percent,
+	}
+}
+
+// PoolStats snapshots the sweep worker pool.
+type PoolStats struct {
+	Workers     int   `json:"workers"`
+	ActiveCells int64 `json:"active_cells"`
+	CellsDone   int64 `json:"cells_done"`
+}
+
+// RequestStats counts requests served per endpoint.
+type RequestStats struct {
+	Analyze int64 `json:"analyze"`
+	Sweep   int64 `json:"sweep"`
+	Tables  int64 `json:"tables"`
+}
+
+// MemoStats counts L0 most-recent-query memo hits.
+type MemoStats struct {
+	Hits int64 `json:"hits"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	Cache         qcache.Stats `json:"cache"`
+	Memo          MemoStats    `json:"memo"`
+	Pool          PoolStats    `json:"pool"`
+	Requests      RequestStats `json:"requests"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+}
+
+// Stats snapshots all service counters.
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Cache: s.cache.Stats(),
+		Memo:  MemoStats{Hits: s.memoHits.Load()},
+		Pool: PoolStats{
+			Workers:     s.workers,
+			ActiveCells: s.activeCells.Load(),
+			CellsDone:   s.sweepCells.Load(),
+		},
+		Requests: RequestStats{
+			Analyze: s.reqAnalyze.Load(),
+			Sweep:   s.reqSweep.Load(),
+			Tables:  s.reqTables.Load(),
+		},
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	}
+}
+
+// Handler returns the service's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/tables", s.handleTables)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; the largest legal request is an
+// inputcheck.MaxClusterSize fleet, comfortably under 1 MiB.
+const maxBodyBytes = 1 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest(fmt.Errorf("bad JSON body: %w", err))
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if IsClientError(err) {
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		writeJSON(w, http.StatusMethodNotAllowed,
+			errorBody{Error: fmt.Sprintf("%s requires %s", r.URL.Path, method)})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	s.reqAnalyze.Add(1)
+	var req AnalyzeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Analyze(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	s.reqSweep.Add(1)
+	var req SweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Validate before the 200 header is committed; the stream body then
+	// goes through sweepValidated so the check runs exactly once.
+	if err := req.Validate(); err != nil {
+		writeError(w, badRequest(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = s.sweepValidated(r.Context(), req, w)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	s.reqTables.Add(1)
+	resp, err := s.Tables()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{Status: "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

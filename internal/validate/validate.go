@@ -136,8 +136,7 @@ func PBFTLivenessMatrix(n, maxByz, ops int, seed int64) ([]bool, []bool, error) 
 }
 
 func defaultPBFTModel(n int) core.PBFT {
-	f := (n - 1) / 3
-	return core.PBFT{NNodes: n, QEq: 2*f + 1, QPer: 2*f + 1, QVC: 2*f + 1, QVCT: f + 1}
+	return core.NewPBFTForN(n)
 }
 
 // PBFTEquivocationSafety checks Theorem 3.1's safety boundary empirically:

@@ -1,0 +1,54 @@
+package probcons
+
+import (
+	"repro/internal/core"
+	"repro/internal/qcache"
+)
+
+// CacheStats snapshots a CachedAnalyzer's effectiveness counters.
+type CacheStats = qcache.Stats
+
+// CachedAnalyzer memoizes Analyze behind the same sharded LRU +
+// singleflight machinery the probconsd service uses: repeated queries are
+// answered from cache, and concurrent identical queries cost exactly one
+// O(N^3) computation. Analyze is pure and deterministic, so entries never
+// go stale. Safe for concurrent use.
+type CachedAnalyzer struct {
+	cache *qcache.Cache[core.Result]
+}
+
+// NewCachedAnalyzer builds an analyzer memoizing up to capacity distinct
+// queries (capacity <= 0 selects a 4096-entry default).
+func NewCachedAnalyzer(capacity int) *CachedAnalyzer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &CachedAnalyzer{cache: qcache.New[core.Result](capacity, 16)}
+}
+
+// Analyze is a drop-in replacement for probcons.Analyze that caches by the
+// canonical fleet+model fingerprint: node order, names, and costs do not
+// fragment the cache, and 1-ulp profile differences are kept distinct.
+func (a *CachedAnalyzer) Analyze(fleet Fleet, m core.CountModel) (Result, error) {
+	fp, err := core.FleetModelFingerprint(fleet, m)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _, err := a.cache.Do(fp.String(), func() (core.Result, error) {
+		return core.Analyze(fleet, m)
+	})
+	return res, err
+}
+
+// RaftReliability is the cached counterpart of probcons.RaftReliability.
+func (a *CachedAnalyzer) RaftReliability(n int, p float64) (Result, error) {
+	return a.Analyze(core.UniformCrashFleet(n, p), core.NewRaft(n))
+}
+
+// PBFTReliability is the cached counterpart of probcons.PBFTReliability.
+func (a *CachedAnalyzer) PBFTReliability(m PBFT, p float64) (Result, error) {
+	return a.Analyze(core.UniformByzFleet(m.NNodes, p), m)
+}
+
+// Stats snapshots the cache counters.
+func (a *CachedAnalyzer) Stats() CacheStats { return a.cache.Stats() }

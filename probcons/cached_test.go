@@ -1,0 +1,105 @@
+package probcons
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+func TestCachedAnalyzerMatchesUncached(t *testing.T) {
+	a := NewCachedAnalyzer(16)
+	fleet := CrashFleet(5, 0.02)
+	fleet[0].Profile = faultcurve.Crash(0.01)
+	m := NewRaft(5)
+	want, err := Analyze(fleet, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := a.Analyze(fleet, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("cached result %+v != direct %+v", got, want)
+		}
+	}
+	st := a.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss / 2 hits", st)
+	}
+}
+
+func TestCachedAnalyzerCanonicalKeying(t *testing.T) {
+	a := NewCachedAnalyzer(16)
+	fleet := CrashFleet(4, 0.04)
+	fleet[2].Profile = faultcurve.Crash(0.01)
+	if _, err := a.Analyze(fleet, NewRaft(4)); err != nil {
+		t.Fatal(err)
+	}
+	// Permuted, renamed, repriced: same canonical query.
+	permuted := Fleet{fleet[2], fleet[0], fleet[3], fleet[1]}
+	for i := range permuted {
+		permuted[i].Name = "other"
+		permuted[i].CostPerHour = 7
+	}
+	if _, err := a.Analyze(permuted, NewRaft(4)); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want the permuted query to hit", st)
+	}
+}
+
+func TestCachedAnalyzerHelpers(t *testing.T) {
+	a := NewCachedAnalyzer(0) // default capacity
+	res, err := a.RaftReliability(3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Percent(res.SafeAndLive) != "99.97%" {
+		t.Fatalf("headline = %s", Percent(res.SafeAndLive))
+	}
+	if res != RaftReliability(3, 0.01) {
+		t.Fatal("cached helper diverges from facade")
+	}
+	pm := NewPBFT(1)
+	pres, err := a.PBFTReliability(pm, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres != PBFTReliability(pm, 0.01) {
+		t.Fatal("cached PBFT helper diverges from facade")
+	}
+}
+
+func TestCachedAnalyzerRejectsInvalid(t *testing.T) {
+	a := NewCachedAnalyzer(4)
+	if _, err := a.Analyze(CrashFleet(3, 0.01), NewRaft(5)); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+	bad := CrashFleet(3, 0.01)
+	bad[0].Profile.PCrash = -1
+	if _, err := a.Analyze(bad, NewRaft(3)); err == nil {
+		t.Fatal("invalid profile must error")
+	}
+}
+
+func TestCachedAnalyzerConcurrent(t *testing.T) {
+	a := NewCachedAnalyzer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := 3 + (i % 3)
+				if _, err := a.RaftReliability(n, 0.01); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
