@@ -7,6 +7,7 @@
 //	nines -protocol raft -n 5 -p 0.02
 //	nines -protocol pbft -n 7 -p 0.01
 //	nines -protocol raft -n 7 -p 0.08 -upgrade 3 -upgrade-p 0.01
+//	nines -protocol raft -n 9 -p 0.01 -zones 3 -shock 1e-4 -shock-crash-mult 100
 package main
 
 import (
@@ -17,18 +18,23 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faultcurve"
 	"repro/internal/inputcheck"
 )
 
 func main() {
 	var (
-		tables   = flag.Bool("tables", false, "print the paper's Table 1 and Table 2")
-		sweep    = flag.Bool("sweep", false, "sweep quorum sizings and print the Pareto frontier")
-		protocol = flag.String("protocol", "raft", "raft or pbft")
-		n        = flag.Int("n", 3, "cluster size")
-		p        = flag.Float64("p", 0.01, "per-node fault probability")
-		upgrade  = flag.Int("upgrade", 0, "number of nodes upgraded to -upgrade-p (heterogeneous fleets)")
-		upgradeP = flag.Float64("upgrade-p", 0.01, "fault probability of upgraded nodes")
+		tables    = flag.Bool("tables", false, "print the paper's Table 1 and Table 2")
+		sweep     = flag.Bool("sweep", false, "sweep quorum sizings and print the Pareto frontier")
+		protocol  = flag.String("protocol", "raft", "raft or pbft")
+		n         = flag.Int("n", 3, "cluster size")
+		p         = flag.Float64("p", 0.01, "per-node fault probability")
+		upgrade   = flag.Int("upgrade", 0, "number of nodes upgraded to -upgrade-p (heterogeneous fleets)")
+		upgradeP  = flag.Float64("upgrade-p", 0.01, "fault probability of upgraded nodes")
+		zones     = flag.Int("zones", 0, "spread the fleet round-robin across this many correlated failure domains (0 = independent failures)")
+		shock     = flag.Float64("shock", 0, "per-zone common-cause shock probability")
+		crashMult = flag.Float64("shock-crash-mult", 50, "crash-probability multiplier while a zone's shock is active")
+		byzMult   = flag.Float64("shock-byz-mult", 1, "Byzantine-probability multiplier while a zone's shock is active")
 	)
 	flag.Parse()
 
@@ -42,28 +48,53 @@ func main() {
 	exitOn(inputcheck.CheckProb("p", *p))
 	exitOn(inputcheck.CheckNodeCount("upgrade", *upgrade, *n))
 	exitOn(inputcheck.CheckProb("upgrade-p", *upgradeP))
+	exitOn(inputcheck.CheckDomainCount(*zones))
+	exitOn(inputcheck.CheckProb("shock", *shock))
+	exitOn(inputcheck.CheckShockMultiplier("shock-crash-mult", *crashMult))
+	exitOn(inputcheck.CheckShockMultiplier("shock-byz-mult", *byzMult))
 	if *sweep {
 		printSweep(*protocol, *n, *p)
 		return
 	}
+	var (
+		fleet core.Fleet
+		model core.CountModel
+	)
 	switch *protocol {
 	case "raft":
-		fleet := core.UniformCrashFleet(*n, *p)
+		fleet = core.UniformCrashFleet(*n, *p)
 		for i := 0; i < *upgrade && i < *n; i++ {
 			fleet[i].Profile.PCrash = *upgradeP
 		}
-		model := core.NewRaft(*n)
-		res, err := core.Analyze(fleet, model)
-		exitOn(err)
+		model = core.NewRaft(*n)
 		fmt.Printf("%s, p_u=%.4g (%d upgraded to %.4g)\n", model.Name(), *p, *upgrade, *upgradeP)
-		fmt.Printf("  %s\n  %.2f nines safe-and-live\n", res, res.Nines())
 	case "pbft":
-		model := core.NewPBFTForN(*n)
-		res, err := core.Analyze(core.UniformByzFleet(*n, *p), model)
-		exitOn(err)
-		fmt.Printf("%s, p_u=%.4g\n  %s\n  %.2f nines safe-and-live\n", model.Name(), *p, res, res.Nines())
+		fleet = core.UniformByzFleet(*n, *p)
+		model = core.NewPBFTForN(*n)
+		fmt.Printf("%s, p_u=%.4g\n", model.Name(), *p)
 	default:
 		exitOn(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	res, err := core.Analyze(fleet, model)
+	exitOn(err)
+	fmt.Printf("  independent: %s\n  %.2f nines safe-and-live\n", res, res.Nines())
+	if *zones > 0 {
+		domains := make(core.DomainSet, *zones)
+		for z := range domains {
+			domains[z] = faultcurve.Domain{
+				Name:            fmt.Sprintf("zone-%d", z),
+				ShockProb:       *shock,
+				CrashMultiplier: *crashMult,
+				ByzMultiplier:   *byzMult,
+			}
+		}
+		for i := range fleet {
+			fleet[i].Domain = domains[i%len(domains)].Name
+		}
+		dres, err := core.AnalyzeDomains(fleet, model, domains)
+		exitOn(err)
+		fmt.Printf("  %d zones, shock=%.4g (crash ×%.4g, byz ×%.4g): %s\n  %.2f nines safe-and-live\n",
+			*zones, *shock, *crashMult, *byzMult, dres, dres.Nines())
 	}
 }
 

@@ -1,0 +1,130 @@
+package repro
+
+// Documentation hygiene checks, run by the CI docs job (and any plain
+// `go test .`): every relative markdown link in the top-level docs and
+// docs/ must resolve to a real file (and, for #fragments, a real
+// heading), so internal references cannot rot silently.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the markdown files under link-check: the top-level
+// docs plus everything in docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md", "CHANGES.md"}
+	entries, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, entries...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// slug reduces a heading to its GitHub anchor form.
+func slug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors collects the heading anchors of one markdown file.
+func anchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[slug(strings.TrimLeft(line, "# "))] = true
+	}
+	return out
+}
+
+func TestDocLinks(t *testing.T) {
+	checked := 0
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v (listed in docFiles but missing)", file, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external; CI has no network, existence is not ours to check
+			}
+			checked++
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(resolved, ".md") {
+				if !anchors(t, resolved)[frag] {
+					t.Errorf("%s: link %q: no heading with anchor #%s in %s", file, target, frag, resolved)
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link checker matched no relative links; is the regexp broken?")
+	}
+}
+
+// TestDocsMentionAllFlags pins README.md and docs/API.md to the actual
+// probconsd flag set: every flag defined in cmd/probconsd/main.go must be
+// documented, so the docs cannot drift from the binary again.
+func TestDocsMentionAllFlags(t *testing.T) {
+	src, err := os.ReadFile("cmd/probconsd/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagDef := regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64)\("([^"]+)"`)
+	var flags []string
+	for _, m := range flagDef.FindAllStringSubmatch(string(src), -1) {
+		flags = append(flags, m[1])
+	}
+	if len(flags) < 4 {
+		t.Fatalf("found only %d probconsd flags (%v); parser broken?", len(flags), flags)
+	}
+	for _, doc := range []string{"README.md", "docs/API.md"} {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range flags {
+			if !strings.Contains(string(data), fmt.Sprintf("-%s", f)) {
+				t.Errorf("%s does not document probconsd flag -%s", doc, f)
+			}
+		}
+	}
+}

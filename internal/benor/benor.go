@@ -1,22 +1,3 @@
-// Package benor implements Ben-Or's randomized binary consensus (PODC '83)
-// on the deterministic simulator. The paper's §4 singles it out ("like in
-// Ben-Or or Rabia") as the kind of quorum-light, probabilistic-by-nature
-// protocol a probability-native world should revisit: it needs no leader,
-// no view change, and terminates with probability 1, with the termination
-// *time* being the probabilistic guarantee.
-//
-// Crash-fault variant, asynchronous rounds, n > 2f:
-//
-//	Round r, phase 1 (report): broadcast your current value; collect n-f
-//	reports. If a strict majority of all n nodes reported w, propose w,
-//	else propose ⊥.
-//	Round r, phase 2 (proposal): broadcast the proposal; collect n-f.
-//	If ≥ f+1 proposals carry the same w ≠ ⊥: decide w.
-//	Else if ≥ 1 proposal carries w ≠ ⊥: adopt w.
-//	Else: adopt a coin flip. Continue to round r+1.
-//
-// A decided node broadcasts a Decide message so laggards finish in one
-// hop.
 package benor
 
 import (

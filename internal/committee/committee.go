@@ -1,8 +1,3 @@
-// Package committee implements the §4 probabilistic-consensus directions
-// that select nodes by fault curve: reliability-ranked committee selection,
-// leader selection among the most dependable nodes, a reputation tracker in
-// the spirit of leader-reputation schemes, and deterministic (VRF-style)
-// committee sampling à la Algorand.
 package committee
 
 import (

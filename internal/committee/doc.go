@@ -1,0 +1,12 @@
+// Package committee implements the §4 probabilistic-consensus directions
+// that select nodes by fault curve: reliability-ranked committee selection,
+// leader selection among the most dependable nodes, a reputation tracker in
+// the spirit of leader-reputation schemes, and deterministic (VRF-style)
+// committee sampling à la Algorand.
+//
+// Key invariants: selection is deterministic given the fleet and (for the
+// VRF-style sampler) the seed; committees are always drawn without
+// replacement; and the sizing search returns the smallest committee whose
+// fault-budget tail (computed by internal/dist's exact binomial tails, not
+// a normal approximation) meets the requested epsilon.
+package committee

@@ -1,24 +1,3 @@
-// Package core implements the paper's primary contribution: probabilistic
-// safety and liveness analysis of consensus protocols under per-node fault
-// probabilities (§3).
-//
-// A deployment is a fleet of nodes, each with a static fault profile
-// (crash probability, Byzantine probability) over a mission window. There
-// are 3^N failure configurations (each node correct, crashed, or
-// Byzantine). A protocol model decides which configurations are safe and
-// which are live — Theorem 3.1 for PBFT, Theorem 3.2 for Raft. The engine
-// computes the exact probability mass of the safe (respectively live)
-// configurations three independent ways:
-//
-//   - a count-based dynamic program over the joint (#crashed, #Byzantine)
-//     distribution — exact, O(N^3), works for any fleet size;
-//   - explicit enumeration of all 3^N configurations — exact, supports
-//     predicates on the identity of failed nodes, N ≲ 16;
-//   - Monte-Carlo sampling — approximate with confidence intervals, works
-//     for any predicate and fleet size, and for correlated fault models.
-//
-// The three agree to float64 precision on their common domain, which the
-// test suite exploits heavily.
 package core
 
 import (
@@ -35,6 +14,11 @@ type Node struct {
 	// Profile is the node's static fault probability over the mission
 	// window (collapse a faultcurve.Curve with faultcurve.WindowProfile).
 	Profile faultcurve.Profile
+	// Domain optionally names the failure domain (rack, zone, rollout
+	// cohort) the node belongs to. Empty means the node fails
+	// independently. Non-empty values must resolve in the DomainSet passed
+	// to AnalyzeDomains; the domain-free engines ignore the field.
+	Domain string
 	// CostPerHour is the node's price, used by internal/cost.
 	CostPerHour float64
 }

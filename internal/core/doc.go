@@ -1,0 +1,35 @@
+// Package core implements the paper's primary contribution: probabilistic
+// safety and liveness analysis of consensus protocols under per-node fault
+// probabilities (§3).
+//
+// A deployment is a fleet of nodes, each with a static fault profile
+// (crash probability, Byzantine probability) over a mission window. There
+// are 3^N failure configurations (each node correct, crashed, or
+// Byzantine). A protocol model decides which configurations are safe and
+// which are live — Theorem 3.1 for PBFT, Theorem 3.2 for Raft. The engine
+// computes the exact probability mass of the safe (respectively live)
+// configurations three independent ways:
+//
+//   - a count-based dynamic program over the joint (#crashed, #Byzantine)
+//     distribution — exact, O(N^3), works for any fleet size;
+//   - explicit enumeration of all 3^N configurations — exact, supports
+//     predicates on the identity of failed nodes, N ≲ 16;
+//   - Monte-Carlo sampling — approximate with confidence intervals, works
+//     for any predicate and fleet size, and for correlated fault models.
+//
+// The three agree to float64 precision on their common domain, which the
+// test suite exploits heavily.
+//
+// Beyond independent failures, nodes may belong to named failure domains
+// (racks, zones, rollout cohorts — §2(3)'s correlated faults): each domain
+// carries a common-cause shock that elevates member fault probabilities,
+// and AnalyzeDomains computes the exact unconditional Result by
+// conditioning (2^D shock subsets, or a per-domain mixture DP convolved
+// across domains — see domains.go). Invariant: with every shock
+// probability zero the domain engines agree with Analyze to 1e-12, and
+// AnalyzeDomainsMonteCarlo brackets them within its Wilson intervals.
+//
+// The package also owns the canonical query fingerprint
+// (FleetModelDomainsFingerprint): the serving layer's cache key, built so
+// that two queries share a key only if their Results are provably equal.
+package core

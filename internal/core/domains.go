@@ -1,0 +1,367 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// This file is the correlated-failure engine: exact safety/liveness
+// analysis when nodes share named failure domains (racks, zones, rollout
+// cohorts), each carrying an independent common-cause shock. It is the
+// scenario class the paper calls out as the most-violated assumption of
+// deployed consensus — node failures are not independent — made exact by
+// conditioning: given each domain's shock outcome, node faults ARE
+// independent, so every conditional analysis reuses the joint trinomial DP.
+//
+// Two exact engines, identical answers, different complexity envelopes:
+//
+//   - AnalyzeDomainsConditioned enumerates the 2^D shock subsets and runs
+//     one O(N^3) DP per subset: O(2^D · N^3). Best for few domains.
+//   - AnalyzeDomainsMixture builds each domain's count distribution as a
+//     two-component mixture (shock / no shock) of block DPs and convolves
+//     the independent blocks together: roughly O(N^2 · K^2 · D) for D
+//     domains of K nodes — best for many small domains, no 2^D factor.
+//
+// AnalyzeDomains picks whichever estimate is cheaper; both are exact, so
+// the choice is invisible to callers.
+
+// DomainSet is the failure-domain layout of a fleet: the named domains
+// that Node.Domain references may resolve to. Order is irrelevant to every
+// probability; an empty set means all nodes fail independently.
+type DomainSet []faultcurve.Domain
+
+// Validate checks the domain definitions and that every node's membership
+// resolves. It is the single gate all domain engines go through.
+func (ds DomainSet) Validate(fleet Fleet) error {
+	seen := make(map[string]bool, len(ds))
+	for i, d := range ds {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("core: domain %d: %w", i, err)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("core: duplicate domain name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+	for i, n := range fleet {
+		if n.Domain != "" && !seen[n.Domain] {
+			return fmt.Errorf("core: node %d (%s) references undefined domain %q", i, n.Name, n.Domain)
+		}
+	}
+	return nil
+}
+
+// partition splits fleet node indices into the independent (undomained)
+// block and one member-index block per domain, in DomainSet order. Fleet
+// order is preserved within each block.
+func (ds DomainSet) partition(fleet Fleet) (indep []int, blocks [][]int) {
+	byName := make(map[string]int, len(ds))
+	for i, d := range ds {
+		byName[d.Name] = i
+	}
+	blocks = make([][]int, len(ds))
+	for i, n := range fleet {
+		// Unresolvable memberships count as independent here so the
+		// pre-validation work estimate cannot panic; Validate rejects them
+		// before any engine runs.
+		if di, ok := byName[n.Domain]; ok && n.Domain != "" {
+			blocks[di] = append(blocks[di], i)
+		} else {
+			indep = append(indep, i)
+		}
+	}
+	return indep, blocks
+}
+
+// memberIndex returns, for each node, the index of its domain in ds, or -1
+// for independent nodes — the montecarlo.Domains membership encoding.
+func (ds DomainSet) memberIndex(fleet Fleet) []int {
+	byName := make(map[string]int, len(ds))
+	for i, d := range ds {
+		byName[d.Name] = i
+	}
+	member := make([]int, len(fleet))
+	for i, n := range fleet {
+		if di, ok := byName[n.Domain]; ok && n.Domain != "" {
+			member[i] = di
+		} else {
+			member[i] = -1
+		}
+	}
+	return member
+}
+
+// checkDomainQuery runs the shared validation of every domain engine.
+func checkDomainQuery(fleet Fleet, m CountModel, domains DomainSet) error {
+	if len(fleet) != m.N() {
+		return fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
+	}
+	if err := fleet.Validate(); err != nil {
+		return err
+	}
+	return domains.Validate(fleet)
+}
+
+// blockTriStates extracts the kernel representation of the given node
+// indices, optionally elevated by a shock.
+func blockTriStates(fleet Fleet, idxs []int, elevate *faultcurve.Domain) []dist.TriState {
+	out := make([]dist.TriState, len(idxs))
+	for j, i := range idxs {
+		p := fleet[i].Profile
+		if elevate != nil {
+			p = elevate.Elevate(p)
+		}
+		out[j] = p.TriState()
+	}
+	return out
+}
+
+func resultFromJoint(joint *dist.JointCrashByz, m CountModel) Result {
+	return Result{
+		Safe:        joint.SumWhere(m.Safe),
+		Live:        joint.SumWhere(m.Live),
+		SafeAndLive: joint.SumWhere(func(c, b int) bool { return m.Safe(c, b) && m.Live(c, b) }),
+	}
+}
+
+// AnalyzeDomains computes the exact Result of a fleet whose nodes belong
+// to correlated failure domains, dispatching to whichever exact engine —
+// 2^D shock-subset conditioning or the per-domain mixture DP — is
+// estimated cheaper for this layout. With no domains (or no members) it is
+// exactly Analyze.
+func AnalyzeDomains(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	if err := checkDomainQuery(fleet, m, domains); err != nil {
+		return Result{}, err
+	}
+	_, blocks := domains.partition(fleet)
+	populated := 0
+	for _, b := range blocks {
+		if len(b) > 0 {
+			populated++
+		}
+	}
+	if populated == 0 {
+		return Analyze(fleet, m)
+	}
+	if conditionedWork(len(fleet), populated) <= mixtureWork(len(fleet), blocks) {
+		return AnalyzeDomainsConditioned(fleet, m, domains)
+	}
+	return AnalyzeDomainsMixture(fleet, m, domains)
+}
+
+// maxConditionedDomains bounds the 2^D shock-subset enumeration.
+const maxConditionedDomains = 24
+
+// conditionedWork estimates AnalyzeDomainsConditioned's cost in DP cell
+// updates: one O(N^3) joint DP per shock subset of the populated domains.
+func conditionedWork(n, populatedDomains int) float64 {
+	if populatedDomains > maxConditionedDomains {
+		return math.Inf(1)
+	}
+	return math.Ldexp(float64(n)*float64(n)*float64(n), populatedDomains)
+}
+
+// mixtureWork estimates AnalyzeDomainsMixture's cost in cell updates: two
+// block DPs per domain plus the running convolution, whose step for a
+// block of k nodes against a prefix of m nodes touches O(m^2 · k^2) cell
+// pairs.
+func mixtureWork(n int, blocks [][]int) float64 {
+	indepCount := n
+	for _, b := range blocks {
+		indepCount -= len(b)
+	}
+	var work float64
+	prefix := indepCount
+	work += cube(indepCount)
+	for _, b := range blocks {
+		k := len(b)
+		if k == 0 {
+			continue
+		}
+		work += 2 * cube(k)
+		work += square(prefix+1) * square(k+1)
+		prefix += k
+	}
+	return work
+}
+
+func cube(n int) float64   { f := float64(n); return f * f * f }
+func square(n int) float64 { f := float64(n); return f * f }
+
+// DomainsWorkEstimate returns the estimated engine cost of AnalyzeDomains
+// for this query in DP cell updates — the unit the serving layer's work
+// bounds are denominated in (n^3 for the domain-free engine).
+func DomainsWorkEstimate(fleet Fleet, domains DomainSet) float64 {
+	_, blocks := domains.partition(fleet)
+	populated := 0
+	for _, b := range blocks {
+		if len(b) > 0 {
+			populated++
+		}
+	}
+	if populated == 0 {
+		return cube(len(fleet))
+	}
+	return math.Min(conditionedWork(len(fleet), populated), mixtureWork(len(fleet), blocks))
+}
+
+// AnalyzeDomainsConditioned is the 2^D exact engine: it enumerates every
+// subset S of the populated domains, weighs it by Π s_d (d ∈ S) · Π (1-s_d)
+// (d ∉ S), elevates the members of the shocked domains, and runs the
+// independent joint DP per condition. Exact for D ≤ 24 populated domains.
+func AnalyzeDomainsConditioned(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	if err := checkDomainQuery(fleet, m, domains); err != nil {
+		return Result{}, err
+	}
+	_, blocks := domains.partition(fleet)
+	// Only populated domains participate in the enumeration: a memberless
+	// domain's shock changes nothing.
+	var actIdx []int
+	for di, b := range blocks {
+		if len(b) > 0 {
+			actIdx = append(actIdx, di)
+		}
+	}
+	d := len(actIdx)
+	if d > maxConditionedDomains {
+		return Result{}, fmt.Errorf("core: %d populated domains exceed the 2^D engine's maximum %d (use AnalyzeDomainsMixture)", d, maxConditionedDomains)
+	}
+	tri := make([]dist.TriState, len(fleet))
+	var sSafe, sLive, sBoth dist.KahanSum
+	for mask := 0; mask < 1<<d; mask++ {
+		weight := 1.0
+		for bit, di := range actIdx {
+			s := dist.Clamp01(domains[di].ShockProb)
+			if mask&(1<<bit) != 0 {
+				weight *= s
+			} else {
+				weight *= 1 - s
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		for i, n := range fleet {
+			tri[i] = n.Profile.TriState()
+		}
+		for bit, di := range actIdx {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			for _, i := range blocks[di] {
+				tri[i] = domains[di].Elevate(fleet[i].Profile).TriState()
+			}
+		}
+		joint := dist.NewJointCrashByz(tri)
+		cond := resultFromJoint(joint, m)
+		sSafe.Add(weight * cond.Safe)
+		sLive.Add(weight * cond.Live)
+		sBoth.Add(weight * cond.SafeAndLive)
+	}
+	return Result{
+		Safe:        dist.Clamp01(sSafe.Sum()),
+		Live:        dist.Clamp01(sLive.Sum()),
+		SafeAndLive: dist.Clamp01(sBoth.Sum()),
+	}, nil
+}
+
+// AnalyzeDomainsMixture is the per-domain mixture-DP exact engine. Each
+// domain's (#crashed, #Byzantine) block distribution is the shock-weighted
+// mixture of its base and elevated joint DPs; blocks (and the independent
+// remainder) are then convolved — counts of independent groups add. No 2^D
+// factor, so it scales to many domains.
+func AnalyzeDomainsMixture(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	if err := checkDomainQuery(fleet, m, domains); err != nil {
+		return Result{}, err
+	}
+	indep, blocks := domains.partition(fleet)
+	joint := dist.NewJointCrashByz(blockTriStates(fleet, indep, nil))
+	for di, idxs := range blocks {
+		if len(idxs) == 0 {
+			continue
+		}
+		d := domains[di]
+		base := dist.NewJointCrashByz(blockTriStates(fleet, idxs, nil))
+		elev := dist.NewJointCrashByz(blockTriStates(fleet, idxs, &d))
+		s := dist.Clamp01(d.ShockProb)
+		mixed, err := dist.MixJointCrashByz(base, elev, 1-s, s)
+		if err != nil {
+			return Result{}, err
+		}
+		joint = dist.ConvolveJointCrashByz(joint, mixed)
+	}
+	return resultFromJoint(joint, m), nil
+}
+
+// AnalyzeDomainsMonteCarlo estimates the domain-aware Result by sampling
+// in the same two stages as the exact conditioning: each domain's shock is
+// drawn first, then every node independently from its base — or, if its
+// domain shocked, elevated — profile. It is the validation oracle for the
+// exact domain engines (montecarlo.Domains is the composable-sampler
+// counterpart for predicate-level estimation).
+func AnalyzeDomainsMonteCarlo(fleet Fleet, m CountModel, domains DomainSet, samples int, seed int64) (MCResult, error) {
+	if err := checkDomainQuery(fleet, m, domains); err != nil {
+		return MCResult{}, err
+	}
+	if samples <= 0 {
+		return MCResult{}, fmt.Errorf("core: need samples > 0, got %d", samples)
+	}
+	member := domains.memberIndex(fleet)
+	elevated := make([]faultcurve.Profile, len(fleet))
+	for i, n := range fleet {
+		if di := member[i]; di >= 0 {
+			elevated[i] = domains[di].Elevate(n.Profile)
+		} else {
+			elevated[i] = n.Profile
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	shocked := make([]bool, len(domains))
+	var nSafe, nLive, nBoth int
+	for s := 0; s < samples; s++ {
+		for d := range domains {
+			shocked[d] = rng.Float64() < domains[d].ShockProb
+		}
+		var crashed, byz int
+		for i, n := range fleet {
+			p := n.Profile
+			if di := member[i]; di >= 0 && shocked[di] {
+				p = elevated[i]
+			}
+			u := rng.Float64()
+			switch {
+			case u < p.PCrash:
+				crashed++
+			case u < p.PCrash+p.PByz:
+				byz++
+			}
+		}
+		sOK := m.Safe(crashed, byz)
+		lOK := m.Live(crashed, byz)
+		if sOK {
+			nSafe++
+		}
+		if lOK {
+			nLive++
+		}
+		if sOK && lOK {
+			nBoth++
+		}
+	}
+	out := MCResult{
+		Result: Result{
+			Safe:        float64(nSafe) / float64(samples),
+			Live:        float64(nLive) / float64(samples),
+			SafeAndLive: float64(nBoth) / float64(samples),
+		},
+		Samples: samples,
+	}
+	out.SafeLo, out.SafeHi = dist.WilsonInterval(nSafe, samples, 1.96)
+	out.LiveLo, out.LiveHi = dist.WilsonInterval(nLive, samples, 1.96)
+	out.BothLo, out.BothHi = dist.WilsonInterval(nBoth, samples, 1.96)
+	return out, nil
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// domainFleet9 is the 3-domain heterogeneous N=9 fleet the acceptance
+// criteria name: three zones of three nodes with distinct per-node
+// profiles, one zone more failure-prone, mild Byzantine mass sprinkled in.
+func domainFleet9() (Fleet, DomainSet) {
+	fleet := Fleet{
+		{Name: "a0", Profile: faultcurve.Profile{PCrash: 0.010}, Domain: "zone-a"},
+		{Name: "a1", Profile: faultcurve.Profile{PCrash: 0.015, PByz: 0.001}, Domain: "zone-a"},
+		{Name: "a2", Profile: faultcurve.Profile{PCrash: 0.020}, Domain: "zone-a"},
+		{Name: "b0", Profile: faultcurve.Profile{PCrash: 0.040}, Domain: "zone-b"},
+		{Name: "b1", Profile: faultcurve.Profile{PCrash: 0.050, PByz: 0.002}, Domain: "zone-b"},
+		{Name: "b2", Profile: faultcurve.Profile{PCrash: 0.060}, Domain: "zone-b"},
+		{Name: "c0", Profile: faultcurve.Profile{PCrash: 0.005}, Domain: "zone-c"},
+		{Name: "c1", Profile: faultcurve.Profile{PCrash: 0.008}, Domain: "zone-c"},
+		{Name: "c2", Profile: faultcurve.Profile{PCrash: 0.012, PByz: 0.0005}, Domain: "zone-c"},
+	}
+	domains := DomainSet{
+		{Name: "zone-a", ShockProb: 0.02, CrashMultiplier: 12, ByzMultiplier: 3},
+		{Name: "zone-b", ShockProb: 0.005, CrashMultiplier: 8, ByzMultiplier: 1},
+		{Name: "zone-c", ShockProb: 0.05, CrashMultiplier: 20, ByzMultiplier: 5},
+	}
+	return fleet, domains
+}
+
+func resultsClose(t *testing.T, tag string, a, b Result, tol float64) {
+	t.Helper()
+	for _, d := range []struct {
+		name   string
+		av, bv float64
+	}{
+		{"safe", a.Safe, b.Safe},
+		{"live", a.Live, b.Live},
+		{"safe&live", a.SafeAndLive, b.SafeAndLive},
+	} {
+		if diff := math.Abs(d.av - d.bv); diff > tol {
+			t.Errorf("%s %s: %.17g vs %.17g (|Δ|=%.3g > %g)", tag, d.name, d.av, d.bv, diff, tol)
+		}
+	}
+}
+
+func TestDomainEnginesAgree(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+	cond, err := AnalyzeDomainsConditioned(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "conditioned vs mixture", cond, mix, 1e-12)
+
+	auto, err := AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "auto vs conditioned", auto, cond, 1e-12)
+}
+
+func TestDomainEnginesAgreePBFT(t *testing.T) {
+	fleet, domains := domainFleet9()
+	// Shift fault mass toward Byzantine so the PBFT predicates bite.
+	for i := range fleet {
+		fleet[i].Profile.PByz += 0.01
+	}
+	m := NewPBFTForN(9)
+	cond, err := AnalyzeDomainsConditioned(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "pbft conditioned vs mixture", cond, mix, 1e-12)
+}
+
+func TestDomainsZeroShockMatchesIndependent(t *testing.T) {
+	fleet, domains := domainFleet9()
+	for i := range domains {
+		domains[i].ShockProb = 0
+	}
+	m := NewRaft(9)
+	indep := MustAnalyze(fleet, m)
+	cond, err := AnalyzeDomainsConditioned(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "zero-shock conditioned vs independent", cond, indep, 1e-12)
+	mix, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "zero-shock mixture vs independent", mix, indep, 1e-12)
+}
+
+func TestDomainsEmptySetIsAnalyze(t *testing.T) {
+	fleet := UniformCrashFleet(5, 0.03)
+	m := NewRaft(5)
+	got, err := AnalyzeDomains(fleet, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MustAnalyze(fleet, m) {
+		t.Fatal("empty DomainSet must reduce to Analyze bit-for-bit")
+	}
+	// Domains defined but no node is a member: same reduction.
+	got, err = AnalyzeDomains(fleet, m, DomainSet{{Name: "unused", ShockProb: 0.5, CrashMultiplier: 100, ByzMultiplier: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != MustAnalyze(fleet, m) {
+		t.Fatal("memberless domains must not perturb the analysis")
+	}
+}
+
+func TestDomainsMatchAnalyzeWithShock(t *testing.T) {
+	// One domain covering the whole fleet is exactly the fleet-wide
+	// CommonCause mixture of AnalyzeWithShock.
+	fleet := UniformCrashFleet(5, 0.02)
+	for i := range fleet {
+		fleet[i].Domain = "rollout"
+	}
+	domains := DomainSet{{Name: "rollout", ShockProb: 0.01, CrashMultiplier: 30, ByzMultiplier: 1}}
+	m := NewRaft(5)
+	want, err := AnalyzeWithShock(UniformCrashFleet(5, 0.02), m,
+		faultcurve.CommonCause{ShockProb: 0.01, CrashMultiplier: 30, ByzMultiplier: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "single whole-fleet domain vs AnalyzeWithShock", got, want, 1e-12)
+}
+
+func TestDomainsMonteCarloBracketsExact(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+	exact, err := AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const samples = 400_000
+	mc, err := AnalyzeDomainsMonteCarlo(fleet, m, domains, samples, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wilson 99% interval (z = 2.576) from the sampled hit counts.
+	check := func(name string, exactP, mcP float64) {
+		hits := int(math.Round(mcP * samples))
+		lo, hi := dist.WilsonInterval(hits, samples, 2.576)
+		if exactP < lo || exactP > hi {
+			t.Errorf("%s: exact %v outside Wilson 99%% CI [%v, %v] (MC %v)", name, exactP, lo, hi, mcP)
+		}
+	}
+	check("safe", exact.Safe, mc.Safe)
+	check("live", exact.Live, mc.Live)
+	check("safe&live", exact.SafeAndLive, mc.SafeAndLive)
+}
+
+func TestDomainsValidation(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+
+	bad := append(DomainSet{}, domains...)
+	bad[0].ShockProb = 1.5
+	if _, err := AnalyzeDomains(fleet, m, bad); err == nil {
+		t.Error("out-of-range shock probability must be rejected")
+	}
+
+	dup := append(DomainSet{}, domains...)
+	dup[1].Name = dup[0].Name
+	if _, err := AnalyzeDomains(fleet, m, dup); err == nil {
+		t.Error("duplicate domain names must be rejected")
+	}
+
+	orphan := append(Fleet{}, fleet...)
+	orphan[3].Domain = "no-such-zone"
+	if _, err := AnalyzeDomains(orphan, m, domains); err == nil {
+		t.Error("membership in an undefined domain must be rejected")
+	}
+
+	if _, err := AnalyzeDomainsMonteCarlo(fleet, m, domains, 0, 1); err == nil {
+		t.Error("samples=0 must be rejected")
+	}
+	if _, err := AnalyzeDomains(fleet, NewRaft(5), domains); err == nil {
+		t.Error("fleet/model size mismatch must be rejected")
+	}
+}
+
+func TestDomainsWorkEstimate(t *testing.T) {
+	fleet, domains := domainFleet9()
+	if w := DomainsWorkEstimate(fleet, nil); w != 729 {
+		t.Errorf("domain-free estimate = %v, want n^3 = 729", w)
+	}
+	w := DomainsWorkEstimate(fleet, domains)
+	if w <= 0 || math.IsInf(w, 0) {
+		t.Errorf("domain estimate = %v", w)
+	}
+	// The 2^D engine estimate for 3 populated domains is 8·n^3; the picked
+	// estimate can never exceed it.
+	if w > 8*729 {
+		t.Errorf("estimate %v exceeds the conditioned bound %v", w, 8*729)
+	}
+}
+
+func TestDomainsShockCertainty(t *testing.T) {
+	// ShockProb 1 with a huge multiplier drives the domain to certain
+	// failure: a 3-zone Raft-9 with one zone certainly down is exactly an
+	// independent analysis of the degraded fleet.
+	fleet, domains := domainFleet9()
+	domains[1].ShockProb = 1
+	domains[1].CrashMultiplier = 1e9 // clamps member PCrash to ~1
+	m := NewRaft(9)
+	got, err := AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond, err := AnalyzeDomainsConditioned(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "certain shock auto vs conditioned", got, cond, 1e-12)
+	resultsClose(t, "certain shock mixture vs conditioned", mix, cond, 1e-12)
+	if got.Live >= 0.999999 {
+		t.Errorf("a certainly-shocked zone should visibly dent liveness, got %v", got.Live)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -29,7 +30,15 @@ import (
 //     Unknown CountModel implementations fall back to N() + Name(), which
 //     is correct as long as Name() encodes all parameters (true of every
 //     model in this repo).
-//   - A domain/version prefix keeps fingerprints from colliding with
+//   - Failure domains are encoded per populated domain as (shock bits,
+//     multiplier bits, sorted member-profile bits), with the per-domain
+//     chunks themselves sorted — so domain names, domain order, and node
+//     order within a domain never fragment the cache, but any change to
+//     which domain a node belongs to, to a shock probability, or to a
+//     multiplier yields a different key. A query with no populated
+//     domains encodes identically to the domain-free query: the Results
+//     are equal, so aliasing them is correct (and a free cache hit).
+//   - A hash-domain/version prefix keeps fingerprints from colliding with
 //     other hash uses and lets the encoding evolve.
 
 // Fingerprint is a canonical, collision-resistant identity of an
@@ -43,18 +52,30 @@ func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 const fingerprintDomain = "probcons-query-v1"
 
 // FleetModelFingerprint computes the canonical fingerprint of analysing
-// fleet under m. It validates the fleet so that a fingerprint is only
-// ever issued for a query Analyze would accept. The encoding is built in
-// one contiguous buffer and hashed with a single Sum256 call: this sits on
-// the serving layer's cache-miss path.
+// fleet under m with no correlated failure domains. It is
+// FleetModelDomainsFingerprint with an empty DomainSet.
 func FleetModelFingerprint(fleet Fleet, m CountModel) (Fingerprint, error) {
+	return FleetModelDomainsFingerprint(fleet, m, nil)
+}
+
+// FleetModelDomainsFingerprint computes the canonical fingerprint of
+// analysing fleet under m with the given failure-domain layout — the cache
+// key of AnalyzeDomains queries. It validates the fleet and the domain
+// layout so a fingerprint is only ever issued for a query the engines
+// would accept. The encoding is built in one contiguous buffer and hashed
+// with a single Sum256 call: this sits on the serving layer's cache-miss
+// path.
+func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) (Fingerprint, error) {
 	if len(fleet) != m.N() {
 		return Fingerprint{}, fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
 	}
 	if err := fleet.Validate(); err != nil {
 		return Fingerprint{}, err
 	}
-	buf := make([]byte, 0, 96+16*len(fleet))
+	if err := domains.Validate(fleet); err != nil {
+		return Fingerprint{}, err
+	}
+	buf := make([]byte, 0, 128+16*len(fleet)+56*len(domains))
 	buf = append(buf, fingerprintDomain...)
 
 	appendU64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
@@ -82,11 +103,50 @@ func FleetModelFingerprint(fleet Fleet, m CountModel) (Fingerprint, error) {
 		appendStr(m.Name())
 	}
 
-	// Sorted (PCrash, PByz) bit pairs: permutation-invariant, exact.
-	keys := make([][2]uint64, len(fleet))
-	for i := range fleet {
+	indep, blocks := domains.partition(fleet)
+
+	// Sorted (PCrash, PByz) bit pairs of the independent nodes:
+	// permutation-invariant, exact. With no populated domains this is the
+	// whole fleet and the encoding is identical to the domain-free one.
+	buf = appendSortedProfileBits(buf, fleet, indep)
+
+	// One chunk per populated domain: shock parameters followed by the
+	// sorted member profile bits. Chunks are sorted byte-wise before being
+	// appended, so the fingerprint is invariant under domain renaming and
+	// reordering (which cannot change the Result) while any change to a
+	// shock probability, a multiplier, or a node's domain membership
+	// produces a different key.
+	var chunks [][]byte
+	for di, idxs := range blocks {
+		if len(idxs) == 0 {
+			continue
+		}
+		d := domains[di]
+		chunk := binary.BigEndian.AppendUint64(nil, math.Float64bits(d.ShockProb))
+		chunk = binary.BigEndian.AppendUint64(chunk, math.Float64bits(d.CrashMultiplier))
+		chunk = binary.BigEndian.AppendUint64(chunk, math.Float64bits(d.ByzMultiplier))
+		chunk = appendSortedProfileBits(chunk, fleet, idxs)
+		chunks = append(chunks, chunk)
+	}
+	if len(chunks) > 0 {
+		sort.Slice(chunks, func(i, j int) bool { return bytes.Compare(chunks[i], chunks[j]) < 0 })
+		appendStr("domains")
+		appendU64(uint64(len(chunks)))
+		for _, c := range chunks {
+			appendU64(uint64(len(c)))
+			buf = append(buf, c...)
+		}
+	}
+	return sha256.Sum256(buf), nil
+}
+
+// appendSortedProfileBits appends the count and the sorted exact IEEE-754
+// (PCrash, PByz) bit pairs of the given fleet indices.
+func appendSortedProfileBits(buf []byte, fleet Fleet, idxs []int) []byte {
+	keys := make([][2]uint64, len(idxs))
+	for j, i := range idxs {
 		p := fleet[i].Profile
-		keys[i] = [2]uint64{math.Float64bits(p.PCrash), math.Float64bits(p.PByz)}
+		keys[j] = [2]uint64{math.Float64bits(p.PCrash), math.Float64bits(p.PByz)}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
@@ -94,10 +154,10 @@ func FleetModelFingerprint(fleet Fleet, m CountModel) (Fingerprint, error) {
 		}
 		return keys[i][1] < keys[j][1]
 	})
-	appendU64(uint64(len(keys)))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(keys)))
 	for _, k := range keys {
-		appendU64(k[0])
-		appendU64(k[1])
+		buf = binary.BigEndian.AppendUint64(buf, k[0])
+		buf = binary.BigEndian.AppendUint64(buf, k[1])
 	}
-	return sha256.Sum256(buf), nil
+	return buf
 }

@@ -109,3 +109,118 @@ func TestFingerprintStringIsHex(t *testing.T) {
 		t.Fatalf("hex fingerprint length = %d, want 64", len(s))
 	}
 }
+
+func dfp(t *testing.T, fleet Fleet, m CountModel, domains DomainSet) Fingerprint {
+	t.Helper()
+	f, err := FleetModelDomainsFingerprint(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// zonedFleet returns a 6-node fleet split across two zones plus its layout.
+func zonedFleet() (Fleet, DomainSet) {
+	fleet := UniformCrashFleet(6, 0.02)
+	for i := range fleet {
+		fleet[i].Domain = []string{"za", "zb"}[i%2]
+	}
+	domains := DomainSet{
+		{Name: "za", ShockProb: 1e-4, CrashMultiplier: 50, ByzMultiplier: 1},
+		{Name: "zb", ShockProb: 2e-4, CrashMultiplier: 40, ByzMultiplier: 1},
+	}
+	return fleet, domains
+}
+
+func TestFingerprintDomainLayoutDistinguished(t *testing.T) {
+	fleet, domains := zonedFleet()
+	m := NewRaft(6)
+	base := dfp(t, fleet, m, domains)
+
+	// Any domain layout must differ from the domain-free query.
+	if base == fp(t, UniformCrashFleet(6, 0.02), m) {
+		t.Fatal("domained query must not alias the domain-free query")
+	}
+
+	// Moving one node to the other zone changes the key.
+	moved := append(Fleet{}, fleet...)
+	moved[0].Domain = "zb"
+	if dfp(t, moved, m, domains) == base {
+		t.Fatal("changing a node's domain membership must change the fingerprint")
+	}
+
+	// Changing one shock probability changes the key.
+	hotter := append(DomainSet{}, domains...)
+	hotter[0].ShockProb = 2e-4
+	if dfp(t, fleet, m, hotter) == base {
+		t.Fatal("changing a shock probability must change the fingerprint")
+	}
+
+	// Changing a multiplier changes the key.
+	harder := append(DomainSet{}, domains...)
+	harder[1].CrashMultiplier = 41
+	if dfp(t, fleet, m, harder) == base {
+		t.Fatal("changing a shock multiplier must change the fingerprint")
+	}
+}
+
+func TestFingerprintDomainCanonicalization(t *testing.T) {
+	fleet, domains := zonedFleet()
+	m := NewRaft(6)
+	base := dfp(t, fleet, m, domains)
+
+	// Renaming the domains (consistently) cannot change the Result, so it
+	// must not change the key.
+	renamedFleet := append(Fleet{}, fleet...)
+	for i := range renamedFleet {
+		renamedFleet[i].Domain = map[string]string{"za": "rack-1", "zb": "rack-2"}[renamedFleet[i].Domain]
+	}
+	renamedDomains := append(DomainSet{}, domains...)
+	renamedDomains[0].Name = "rack-1"
+	renamedDomains[1].Name = "rack-2"
+	if dfp(t, renamedFleet, m, renamedDomains) != base {
+		t.Fatal("renaming domains must not change the fingerprint")
+	}
+
+	// Reordering the DomainSet cannot change the Result either.
+	swapped := DomainSet{domains[1], domains[0]}
+	if dfp(t, fleet, m, swapped) != base {
+		t.Fatal("reordering the DomainSet must not change the fingerprint")
+	}
+
+	// Permuting nodes (memberships travel with them) keeps the key.
+	permuted := Fleet{fleet[4], fleet[2], fleet[0], fleet[5], fleet[3], fleet[1]}
+	if dfp(t, permuted, m, domains) != base {
+		t.Fatal("node permutation must not change the fingerprint")
+	}
+
+	// Memberless domains are dropped by canonicalization: same Result,
+	// same key as not declaring them at all.
+	padded := append(DomainSet{}, domains...)
+	padded = append(padded, faultcurve.Domain{Name: "unused", ShockProb: 0.5, CrashMultiplier: 9, ByzMultiplier: 9})
+	if dfp(t, fleet, m, padded) != base {
+		t.Fatal("memberless domains must not fragment the cache")
+	}
+
+	// No populated domains at all: aliases the domain-free key (equal
+	// Results, so sharing the cache line is correct).
+	plain := UniformCrashFleet(6, 0.02)
+	if dfp(t, plain, m, DomainSet{domains[0]}) != fp(t, plain, m) {
+		t.Fatal("a query with no populated domains should alias the domain-free key")
+	}
+}
+
+func TestFingerprintDomainRejectsInvalid(t *testing.T) {
+	fleet, domains := zonedFleet()
+	m := NewRaft(6)
+	bad := append(DomainSet{}, domains...)
+	bad[0].ShockProb = -1
+	if _, err := FleetModelDomainsFingerprint(fleet, m, bad); err == nil {
+		t.Fatal("invalid shock probability must be rejected")
+	}
+	orphan := append(Fleet{}, fleet...)
+	orphan[2].Domain = "nowhere"
+	if _, err := FleetModelDomainsFingerprint(orphan, m, domains); err == nil {
+		t.Fatal("unresolved membership must be rejected")
+	}
+}

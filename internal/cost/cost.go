@@ -1,8 +1,3 @@
-// Package cost searches hardware fleets for the cheapest deployment meeting
-// a target reliability — the paper's §1/§3 economic argument: "one can run
-// Raft on nine less reliable nodes ... if these resources are 10x cheaper,
-// this yields a 3x reduction in cost", and its sustainability cousin (reuse
-// older hardware at equal nines).
 package cost
 
 import (

@@ -1,0 +1,14 @@
+// Package detector implements probabilistic failure detectors (§4: "design
+// new types of failure detectors which are more realistic and accurate").
+//
+// Instead of the binary timeout of the f-threshold world, a phi-accrual
+// detector (Hayashibara et al.) outputs a continuous suspicion level:
+// phi(t) = -log10 P[heartbeat still arrives after silence t], estimated
+// from the observed inter-arrival distribution. The caller picks a phi
+// threshold per decision — view change, reconfiguration, paging a human —
+// matching the paper's position that different consumers need different
+// confidence in "that node is dead".
+//
+// A Bayesian wrapper combines the detector's likelihood with the node's
+// prior fault curve: nodes known to be failure-prone are suspected sooner.
+package detector

@@ -1,19 +1,3 @@
-// Package dist is the numeric kernel of the reproduction: probability
-// distributions and numerically careful helpers shared by every analysis
-// engine (the joint-count DP, the 3^N enumerator, the Monte-Carlo
-// samplers, the quorum metrics, and the cost/durability analyses).
-//
-// Everything here is deliberately dependency-free and allocation-light:
-// these routines sit on the hot path of O(N^3) dynamic programs and
-// million-sample Monte-Carlo loops. Three numeric policies hold
-// throughout:
-//
-//   - tails and combinatorics are computed in log space (no overflow,
-//     no catastrophic cancellation for probabilities near 0 or 1);
-//   - series are accumulated with compensated (Kahan-Neumaier)
-//     summation;
-//   - every probability returned to a caller is clamped to [0, 1], so
-//     downstream code never sees -1e-17 or 1+2e-16 from rounding.
 package dist
 
 import (

@@ -1,0 +1,66 @@
+package dist
+
+import "fmt"
+
+// This file provides the two compositional operations the correlated
+// failure-domain engine (internal/core.AnalyzeDomains) builds on:
+//
+//   - MixJointCrashByz: a convex mixture of two joint tables over the same
+//     nodes — "shock fired" vs "shock did not fire" for one domain;
+//   - ConvolveJointCrashByz: the joint table of two *independent* node
+//     groups — counts from different failure domains add.
+//
+// Both preserve the JointCrashByz invariants (triangular support, total
+// mass 1 up to rounding) so the result composes with SumWhere unchanged.
+
+// MixJointCrashByz returns the convex mixture wa·a + wb·b of two joint
+// distributions over the same number of nodes: the exact distribution of a
+// fleet whose per-node behaviour is drawn from a with probability wa and
+// from b with probability wb. Weights are expected to sum to 1; they are
+// applied as given so callers can fold normalisation in.
+func MixJointCrashByz(a, b *JointCrashByz, wa, wb float64) (*JointCrashByz, error) {
+	if a.n != b.n {
+		return nil, fmt.Errorf("dist: cannot mix joint tables over %d and %d nodes", a.n, b.n)
+	}
+	out := &JointCrashByz{n: a.n, p: make([]float64, len(a.p))}
+	for i := range out.p {
+		out.p[i] = wa*a.p[i] + wb*b.p[i]
+	}
+	return out, nil
+}
+
+// ConvolveJointCrashByz returns the joint (#crashed, #Byzantine)
+// distribution of the union of two independent node groups: the result
+// over n = a.N()+b.N() nodes assigns P[c, b] = Σ P_a[ca, ba]·P_b[c-ca,
+// b-ba]. Cost is O((a.N()·b.N())²) cell products; each output cell is
+// accumulated with compensated summation so repeated convolution (one per
+// failure domain) stays exact to ~1e-15.
+func ConvolveJointCrashByz(a, b *JointCrashByz) *JointCrashByz {
+	n := a.n + b.n
+	w := n + 1
+	wa, wb := a.n+1, b.n+1
+	sums := make([]KahanSum, w*w)
+	for ca := 0; ca <= a.n; ca++ {
+		rowA := a.p[ca*wa:]
+		for ba := 0; ba+ca <= a.n; ba++ {
+			ma := rowA[ba]
+			if ma == 0 {
+				continue
+			}
+			for cb := 0; cb <= b.n; cb++ {
+				rowB := b.p[cb*wb:]
+				outRow := sums[(ca+cb)*w+ba:]
+				for bb := 0; bb+cb <= b.n; bb++ {
+					if mb := rowB[bb]; mb != 0 {
+						outRow[bb].Add(ma * mb)
+					}
+				}
+			}
+		}
+	}
+	out := &JointCrashByz{n: n, p: make([]float64, w*w)}
+	for i := range sums {
+		out.p[i] = sums[i].Sum()
+	}
+	return out
+}

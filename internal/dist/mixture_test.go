@@ -1,0 +1,74 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func jointsEqual(t *testing.T, a, b *JointCrashByz, tol float64) {
+	t.Helper()
+	if a.N() != b.N() {
+		t.Fatalf("joint sizes differ: %d vs %d", a.N(), b.N())
+	}
+	for c := 0; c <= a.N(); c++ {
+		for bz := 0; bz+c <= a.N(); bz++ {
+			if d := math.Abs(a.PMF(c, bz) - b.PMF(c, bz)); d > tol {
+				t.Fatalf("PMF(%d,%d): %g vs %g (|Δ|=%g > %g)",
+					c, bz, a.PMF(c, bz), b.PMF(c, bz), d, tol)
+			}
+		}
+	}
+}
+
+func TestConvolveMatchesSingleDP(t *testing.T) {
+	groupA := []TriState{{PCrash: 0.01}, {PCrash: 0.05, PByz: 0.002}, {PByz: 0.03}}
+	groupB := []TriState{{PCrash: 0.2, PByz: 0.1}, {PCrash: 0.001}}
+	conv := ConvolveJointCrashByz(NewJointCrashByz(groupA), NewJointCrashByz(groupB))
+	whole := NewJointCrashByz(append(append([]TriState{}, groupA...), groupB...))
+	jointsEqual(t, conv, whole, 1e-14)
+}
+
+func TestConvolveEmptyIsIdentity(t *testing.T) {
+	nodes := []TriState{{PCrash: 0.1}, {PByz: 0.2}}
+	d := NewJointCrashByz(nodes)
+	empty := NewJointCrashByz(nil)
+	jointsEqual(t, ConvolveJointCrashByz(d, empty), d, 0)
+	jointsEqual(t, ConvolveJointCrashByz(empty, d), d, 0)
+}
+
+func TestConvolveMassIsOne(t *testing.T) {
+	a := NewJointCrashByz([]TriState{{PCrash: 0.3, PByz: 0.3}, {PCrash: 0.49, PByz: 0.5}})
+	b := NewJointCrashByz([]TriState{{PCrash: 0.01}, {PByz: 0.99}, {PCrash: 0.5, PByz: 0.25}})
+	conv := ConvolveJointCrashByz(a, b)
+	total := conv.SumWhere(func(int, int) bool { return true })
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("convolved mass = %g, want 1", total)
+	}
+}
+
+func TestMixWeightsAndErrors(t *testing.T) {
+	base := NewJointCrashByz([]TriState{{PCrash: 0.01}, {PCrash: 0.02}})
+	elev := NewJointCrashByz([]TriState{{PCrash: 0.5}, {PCrash: 0.6}})
+	same, err := MixJointCrashByz(base, base, 0.7, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jointsEqual(t, same, base, 1e-15)
+
+	mixed, err := MixJointCrashByz(base, elev, 0.75, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c <= 2; c++ {
+		for bz := 0; bz+c <= 2; bz++ {
+			want := 0.75*base.PMF(c, bz) + 0.25*elev.PMF(c, bz)
+			if got := mixed.PMF(c, bz); math.Abs(got-want) > 1e-15 {
+				t.Fatalf("mixed PMF(%d,%d) = %g, want %g", c, bz, got, want)
+			}
+		}
+	}
+
+	if _, err := MixJointCrashByz(base, NewJointCrashByz([]TriState{{}}), 0.5, 0.5); err == nil {
+		t.Fatal("mixing tables of different sizes must fail")
+	}
+}

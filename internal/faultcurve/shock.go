@@ -36,17 +36,7 @@ func (cc CommonCause) Elevated(base []Profile) []Profile {
 			out[i] = p
 			continue
 		}
-		pc := p.PCrash * cc.CrashMultiplier
-		pb := p.PByz * cc.ByzMultiplier
-		if pc+pb > 1 {
-			// Preserve the crash/byz ratio while keeping the profile valid.
-			scale := 1 / (pc + pb)
-			pc *= scale
-			pb *= scale
-		}
-		pc = dist.Clamp01(pc)
-		pb = dist.Clamp01(pb)
-		out[i] = Profile{PCrash: pc, PByz: pb}
+		out[i] = elevateProfile(p, cc.CrashMultiplier, cc.ByzMultiplier)
 	}
 	return out
 }

@@ -1,0 +1,7 @@
+// Package inputcheck is the input-validation vocabulary shared by the
+// service's request validator (internal/service) and the CLIs (cmd/nines,
+// cmd/probsim, cmd/costopt): one place decides what a legal cluster size,
+// probability, or node count is, so the daemon and the one-shot tools
+// reject the same inputs with the same messages. It is a leaf package —
+// the CLIs can use it without linking the serving stack.
+package inputcheck

@@ -1,9 +1,3 @@
-// Package inputcheck is the input-validation vocabulary shared by the
-// service's request validator (internal/service) and the CLIs (cmd/nines,
-// cmd/probsim, cmd/costopt): one place decides what a legal cluster size,
-// probability, or node count is, so the daemon and the one-shot tools
-// reject the same inputs with the same messages. It is a leaf package —
-// the CLIs can use it without linking the serving stack.
 package inputcheck
 
 import (
@@ -46,6 +40,29 @@ func CheckProfile(pCrash, pByz float64) error {
 	}
 	if pCrash+pByz > 1 {
 		return fmt.Errorf("p_crash + p_byz must be <= 1, got %v + %v", pCrash, pByz)
+	}
+	return nil
+}
+
+// MaxDomains bounds the number of failure domains in one query. Sixteen
+// covers every realistic rack/zone/cohort layout while keeping the 2^D
+// conditioning engine (and the serving layer's work estimates) bounded.
+const MaxDomains = 16
+
+// CheckDomainCount rejects failure-domain counts outside [0, MaxDomains].
+func CheckDomainCount(d int) error {
+	if d < 0 || d > MaxDomains {
+		return fmt.Errorf("domain count must be in [0, %d], got %d", MaxDomains, d)
+	}
+	return nil
+}
+
+// CheckShockMultiplier rejects fault-probability multipliers that are
+// negative, NaN, or infinite (the elevated profile is clamped to a valid
+// distribution downstream, so any finite non-negative scale is legal).
+func CheckShockMultiplier(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s must be a finite multiplier >= 0, got %v", name, v)
 	}
 	return nil
 }

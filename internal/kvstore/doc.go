@@ -1,0 +1,11 @@
+// Package kvstore is a replicated key-value store built on the Raft
+// implementation — the "fault-tolerant core plus application" shape the
+// paper's introduction describes, used by the examples and the end-to-end
+// tests.
+//
+// The store maps Put/Get operations onto Raft log entries and applies
+// committed entries in log order at every replica. Invariant: all replicas
+// apply the same sequence of operations (agreement is inherited from the
+// log), so a read served by any node that has applied index i reflects
+// exactly the writes committed up to i.
+package kvstore

@@ -1,7 +1,3 @@
-// Package kvstore is a replicated key-value store built on the Raft
-// implementation — the "fault-tolerant core plus application" shape the
-// paper's introduction describes, used by the examples and the end-to-end
-// tests.
 package kvstore
 
 import (

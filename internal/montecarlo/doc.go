@@ -1,0 +1,15 @@
+// Package montecarlo provides sampling-based estimation of deployment
+// reliability. It complements the exact engines in internal/core in two
+// directions the paper highlights: fleets too large (or predicates too rich)
+// to enumerate, and correlated fault processes (§2(3)) that break the
+// independence assumption the closed forms need.
+//
+// Samplers compose with any predicate over sampled configurations:
+// Independent (the §3 baseline), CommonCause (one fleet-wide shock),
+// Domains (per-failure-domain shocks drawn first, then nodes — the
+// sampling mirror of core.AnalyzeDomains), and BetaCrash (beta-binomial
+// fault clustering from the storage literature). Invariants: every sampler
+// draws all randomness from the caller's single seeded RNG (runs are
+// bit-reproducible), a node is never both crashed and Byzantine in one
+// sample, and Run reports Wilson intervals that behave at p̂ ∈ {0, 1}.
+package montecarlo

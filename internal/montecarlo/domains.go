@@ -1,0 +1,73 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faultcurve"
+)
+
+// Domains samples correlated failures across named failure domains: each
+// domain's common-cause shock is drawn first (independent Bernoulli per
+// domain), then every node independently from its base profile — or its
+// shock-elevated profile when its domain's shock fired. This is the
+// sampling mirror of the exact conditioning in internal/core: conditioned
+// on the shock vector, nodes are independent.
+type Domains struct {
+	base     []faultcurve.Profile
+	elevated []faultcurve.Profile // per-node profile given its domain shocked
+	member   []int                // node -> domain index, -1 = independent
+	domains  []faultcurve.Domain
+
+	shocked []bool // scratch: this sample's per-domain shock outcomes
+}
+
+// NewDomains builds the sampler. member[i] is the index into domains of
+// node i's failure domain, or -1 for an independent node.
+func NewDomains(base []faultcurve.Profile, member []int, domains []faultcurve.Domain) (*Domains, error) {
+	if len(member) != len(base) {
+		return nil, fmt.Errorf("montecarlo: %d membership entries for %d nodes", len(member), len(base))
+	}
+	for _, d := range domains {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	s := &Domains{
+		base:     base,
+		elevated: make([]faultcurve.Profile, len(base)),
+		member:   member,
+		domains:  domains,
+		shocked:  make([]bool, len(domains)),
+	}
+	for i, p := range base {
+		di := member[i]
+		if di < 0 {
+			s.elevated[i] = p
+			continue
+		}
+		if di >= len(domains) {
+			return nil, fmt.Errorf("montecarlo: node %d references domain %d of %d", i, di, len(domains))
+		}
+		s.elevated[i] = domains[di].Elevate(p)
+	}
+	return s, nil
+}
+
+// N implements Sampler.
+func (s *Domains) N() int { return len(s.base) }
+
+// Sample implements Sampler: shocks first, then nodes.
+func (s *Domains) Sample(rng *rand.Rand, out *Config) {
+	for d := range s.domains {
+		s.shocked[d] = rng.Float64() < s.domains[d].ShockProb
+	}
+	for i, p := range s.base {
+		if di := s.member[i]; di >= 0 && s.shocked[di] {
+			p = s.elevated[i]
+		}
+		u := rng.Float64()
+		out.Crashed[i] = u < p.PCrash
+		out.Byz[i] = !out.Crashed[i] && u < p.PCrash+p.PByz
+	}
+}

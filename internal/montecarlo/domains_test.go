@@ -1,0 +1,79 @@
+package montecarlo
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+)
+
+func domainLayout() (core.Fleet, core.DomainSet, []int) {
+	fleet := core.UniformCrashFleet(9, 0.02)
+	member := make([]int, 9)
+	for i := range fleet {
+		zone := i % 3
+		fleet[i].Domain = []string{"za", "zb", "zc"}[zone]
+		member[i] = zone
+	}
+	domains := core.DomainSet{
+		{Name: "za", ShockProb: 0.03, CrashMultiplier: 15, ByzMultiplier: 1},
+		{Name: "zb", ShockProb: 0.01, CrashMultiplier: 25, ByzMultiplier: 1},
+		{Name: "zc", ShockProb: 0.05, CrashMultiplier: 10, ByzMultiplier: 1},
+	}
+	return fleet, domains, member
+}
+
+func TestDomainsSamplerMatchesExact(t *testing.T) {
+	fleet, domains, member := domainLayout()
+	m := core.NewRaft(9)
+	exact, err := core.AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewDomains(fleet.Profiles(), member, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Run(s, liveRaftPred(m), 300_000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Live < est.Lo || exact.Live > est.Hi {
+		t.Errorf("exact domain-aware liveness %v outside CI %v", exact.Live, est)
+	}
+}
+
+func TestDomainsSamplerShockCouplesZone(t *testing.T) {
+	// With one certain-shock zone, all three members of that zone must be
+	// far more likely to crash together than independence allows.
+	profiles := faultcurve.UniformProfiles(6, faultcurve.Crash(0.01))
+	member := []int{0, 0, 0, -1, -1, -1}
+	domains := []faultcurve.Domain{{Name: "rack", ShockProb: 0.1, CrashMultiplier: 60, ByzMultiplier: 1}}
+	s, err := NewDomains(profiles, member, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allRack := func(c Config) bool { return c.Crashed[0] && c.Crashed[1] && c.Crashed[2] }
+	est, err := Run(s, allRack, 200_000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent bound: (0.01)^3 = 1e-6. Shock path: 0.1 · 0.6^3 ≈ 0.022.
+	if est.P < 0.01 {
+		t.Errorf("correlated zone crash probability %v, want ~0.022 >> 1e-6", est.P)
+	}
+}
+
+func TestNewDomainsValidation(t *testing.T) {
+	profiles := faultcurve.UniformProfiles(3, faultcurve.Crash(0.01))
+	if _, err := NewDomains(profiles, []int{0, 0}, nil); err == nil {
+		t.Error("membership length mismatch must be rejected")
+	}
+	if _, err := NewDomains(profiles, []int{0, 0, 0}, nil); err == nil {
+		t.Error("out-of-range domain index must be rejected")
+	}
+	bad := []faultcurve.Domain{{Name: "", ShockProb: 0.1, CrashMultiplier: 1, ByzMultiplier: 1}}
+	if _, err := NewDomains(profiles, []int{0, 0, 0}, bad); err == nil {
+		t.Error("invalid domain must be rejected")
+	}
+}

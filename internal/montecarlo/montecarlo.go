@@ -1,8 +1,3 @@
-// Package montecarlo provides sampling-based estimation of deployment
-// reliability. It complements the exact engines in internal/core in two
-// directions the paper highlights: fleets too large (or predicates too rich)
-// to enumerate, and correlated fault processes (§2(3)) that break the
-// independence assumption the closed forms need.
 package montecarlo
 
 import (

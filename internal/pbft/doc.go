@@ -1,0 +1,14 @@
+// Package pbft is a runnable PBFT implementation (pre-prepare / prepare /
+// commit, view changes with prepared-certificate carryover) on the
+// deterministic simulator, with pluggable Byzantine behaviours (silent
+// nodes, equivocating leaders). It exists to cross-validate Theorem 3.1's
+// configuration predicates empirically (experiment V2): with the textbook
+// 2f+1 quorums a lone equivocating leader cannot split agreement, while
+// undersized non-equivocation quorums demonstrably can.
+//
+// The four quorum sizes are independently configurable, mirroring §3.1:
+// Q_eq (prepare certificates), Q_per (commit), Q_vc (new-view assembly),
+// Q_vc_t (view-change trigger adoption). Crypto is modelled by the
+// simulator's authenticated point-to-point channels, the standard
+// simulation idealisation.
+package pbft

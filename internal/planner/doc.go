@@ -1,0 +1,12 @@
+// Package planner implements §4's preemptive reconfiguration: "predictive
+// models for node reliability enable preemptive reconfiguration, mitigating
+// potential failures from jeopardizing safety or liveness".
+//
+// Given per-node fault curves (which move with age — bathtub wear-out,
+// rollout spikes) and a reliability target in nines, the planner walks the
+// deployment timeline in review epochs, recomputes the fleet's window
+// reliability from each node's age-conditional failure probability, and
+// schedules node replacements before the fleet dips below target —
+// replacing the most failure-prone node first, the way a fault-curve-aware
+// operator would.
+package planner

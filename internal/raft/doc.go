@@ -1,0 +1,11 @@
+// Package raft is a complete, runnable Raft implementation (leader
+// election, log replication, commitment, crash-restart with persistent
+// state) targeting the deterministic simulator in internal/sim. It exists
+// so the paper's analytical claims about Raft (Theorem 3.2, Table 2) can be
+// cross-checked against an executing protocol under injected faults.
+//
+// The implementation follows the Raft paper's state machine with one
+// generalisation the analysis needs: the commit (persistence) quorum and
+// the election (view-change) quorum are independently configurable, per the
+// flexible-quorum formulation of Theorem 3.2. Defaults are majorities.
+package raft

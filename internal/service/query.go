@@ -72,59 +72,149 @@ func (ms ModelSpec) Model() (core.CountModel, error) {
 	}
 }
 
-// NodeSpec is one server of a heterogeneous fleet on the wire.
+// NodeSpec is one server of a heterogeneous fleet on the wire. Domain
+// optionally names the failure domain the node belongs to; it must match
+// one of the request's domains entries.
 type NodeSpec struct {
 	Name   string  `json:"name,omitempty"`
 	PCrash float64 `json:"p_crash"`
 	PByz   float64 `json:"p_byz"`
+	Domain string  `json:"domain,omitempty"`
+}
+
+// DomainSpec is one correlated failure domain on the wire: with
+// probability shock, a domain-wide event multiplies every member node's
+// crash probability by crash_mult and its Byzantine probability by
+// byz_mult. Omitted multipliers default to 1 (unchanged).
+type DomainSpec struct {
+	Name      string   `json:"name"`
+	Shock     float64  `json:"shock"`
+	CrashMult *float64 `json:"crash_mult,omitempty"`
+	ByzMult   *float64 `json:"byz_mult,omitempty"`
+}
+
+// resolveDomains validates the wire domains and builds the engine layout.
+func resolveDomains(specs []DomainSpec) (core.DomainSet, error) {
+	if err := inputcheck.CheckDomainCount(len(specs)); err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	ds := make(core.DomainSet, len(specs))
+	for i, spec := range specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("domains[%d]: name is required", i)
+		}
+		if err := inputcheck.CheckProb(fmt.Sprintf("domains[%d].shock", i), spec.Shock); err != nil {
+			return nil, err
+		}
+		crashMult, byzMult := 1.0, 1.0
+		if spec.CrashMult != nil {
+			crashMult = *spec.CrashMult
+		}
+		if spec.ByzMult != nil {
+			byzMult = *spec.ByzMult
+		}
+		if err := inputcheck.CheckShockMultiplier(fmt.Sprintf("domains[%d].crash_mult", i), crashMult); err != nil {
+			return nil, err
+		}
+		if err := inputcheck.CheckShockMultiplier(fmt.Sprintf("domains[%d].byz_mult", i), byzMult); err != nil {
+			return nil, err
+		}
+		ds[i] = faultcurve.Domain{
+			Name:            spec.Name,
+			ShockProb:       spec.Shock,
+			CrashMultiplier: crashMult,
+			ByzMultiplier:   byzMult,
+		}
+	}
+	return ds, nil
+}
+
+// assignRoundRobin spreads a uniform fleet across the domains: node i
+// joins domain i mod D — the balanced "one replica per zone in rotation"
+// layout. It is how a uniform-p analyze request and every sweep cell
+// acquire domain memberships.
+func assignRoundRobin(fleet core.Fleet, domains core.DomainSet) {
+	if len(domains) == 0 {
+		return
+	}
+	for i := range fleet {
+		fleet[i].Domain = domains[i%len(domains)].Name
+	}
 }
 
 // AnalyzeRequest is the body of POST /v1/analyze. The fleet is given
 // either explicitly (fleet, heterogeneous) or as a uniform per-node fault
 // probability p (crash mass for raft, Byzantine mass for pbft — the
-// Table 2 and Table 1 conventions).
+// Table 2 and Table 1 conventions). The optional domains block declares
+// correlated failure domains: explicit fleets reference them per node via
+// domain; uniform fleets are spread across them round-robin.
 type AnalyzeRequest struct {
-	Model ModelSpec  `json:"model"`
-	Fleet []NodeSpec `json:"fleet,omitempty"`
-	P     *float64   `json:"p,omitempty"`
+	Model   ModelSpec    `json:"model"`
+	Fleet   []NodeSpec   `json:"fleet,omitempty"`
+	P       *float64     `json:"p,omitempty"`
+	Domains []DomainSpec `json:"domains,omitempty"`
 }
+
+// MaxAnalyzeWork bounds the estimated engine cost of one analyze query in
+// DP cell updates (the domain-free engine is n^3). The domain engines
+// multiply that, so the bound — sized like MaxSweepWork, roughly a minute
+// of single-core work — keeps one request from pinning a worker slot
+// indefinitely.
+const MaxAnalyzeWork = 2e10
 
 // Query resolves and validates the request into the exact analysis
 // inputs. All validation errors are client errors (HTTP 400).
-func (r AnalyzeRequest) Query() (core.Fleet, core.CountModel, error) {
+func (r AnalyzeRequest) Query() (core.Fleet, core.CountModel, core.DomainSet, error) {
 	m, err := r.Model.Model()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
+	domains, err := resolveDomains(r.Domains)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var fleet core.Fleet
 	switch {
 	case len(r.Fleet) > 0 && r.P != nil:
-		return nil, nil, fmt.Errorf("give either fleet or p, not both")
+		return nil, nil, nil, fmt.Errorf("give either fleet or p, not both")
 	case len(r.Fleet) > 0:
 		if len(r.Fleet) != m.N() {
-			return nil, nil, fmt.Errorf("fleet has %d nodes but model.n is %d", len(r.Fleet), m.N())
+			return nil, nil, nil, fmt.Errorf("fleet has %d nodes but model.n is %d", len(r.Fleet), m.N())
 		}
-		fleet := make(core.Fleet, len(r.Fleet))
+		fleet = make(core.Fleet, len(r.Fleet))
 		for i, ns := range r.Fleet {
 			if err := inputcheck.CheckProfile(ns.PCrash, ns.PByz); err != nil {
-				return nil, nil, fmt.Errorf("fleet[%d]: %w", i, err)
+				return nil, nil, nil, fmt.Errorf("fleet[%d]: %w", i, err)
 			}
 			fleet[i] = core.Node{
 				Name:    ns.Name,
 				Profile: faultcurve.Profile{PCrash: ns.PCrash, PByz: ns.PByz},
+				Domain:  ns.Domain,
 			}
 		}
-		return fleet, m, nil
 	case r.P != nil:
 		if err := inputcheck.CheckProb("p", *r.P); err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if r.Model.Protocol == "pbft" {
-			return core.UniformByzFleet(m.N(), *r.P), m, nil
+			fleet = core.UniformByzFleet(m.N(), *r.P)
+		} else {
+			fleet = core.UniformCrashFleet(m.N(), *r.P)
 		}
-		return core.UniformCrashFleet(m.N(), *r.P), m, nil
+		assignRoundRobin(fleet, domains)
 	default:
-		return nil, nil, fmt.Errorf("give a fleet or a uniform p")
+		return nil, nil, nil, fmt.Errorf("give a fleet or a uniform p")
 	}
+	if err := domains.Validate(fleet); err != nil {
+		return nil, nil, nil, err
+	}
+	if work := core.DomainsWorkEstimate(fleet, domains); work > MaxAnalyzeWork {
+		return nil, nil, nil, fmt.Errorf("query needs ~%.2g engine operations, maximum is %.2g (fewer domains or a smaller fleet)", work, float64(MaxAnalyzeWork))
+	}
+	return fleet, m, domains, nil
 }
 
 // MaxNines caps nines renderings on the wire. float64 cannot represent
@@ -180,11 +270,14 @@ func newAnalyzeResponse(m core.CountModel, res core.Result, fp string, cached bo
 
 // SweepRequest is the body of POST /v1/sweep: the (n, p) grid of uniform
 // fleets to analyze, fanned out over the worker pool and streamed back as
-// JSON lines in grid order (ns outer, ps inner).
+// JSON lines in grid order (ns outer, ps inner). An optional domains
+// block applies the same correlated-failure layout to every cell, with
+// each cell's n nodes spread across the domains round-robin.
 type SweepRequest struct {
-	Protocol string    `json:"protocol"` // "raft" or "pbft"
-	Ns       []int     `json:"ns"`
-	Ps       []float64 `json:"ps"`
+	Protocol string       `json:"protocol"` // "raft" or "pbft"
+	Ns       []int        `json:"ns"`
+	Ps       []float64    `json:"ps"`
+	Domains  []DomainSpec `json:"domains,omitempty"`
 }
 
 // MaxSweepCells bounds one sweep request's grid size; MaxSweepWork bounds
@@ -209,12 +302,21 @@ func (r SweepRequest) Validate() error {
 	if cells := len(r.Ns) * len(r.Ps); cells > MaxSweepCells {
 		return fmt.Errorf("sweep grid has %d cells, maximum is %d", cells, MaxSweepCells)
 	}
+	domains, err := resolveDomains(r.Domains)
+	if err != nil {
+		return err
+	}
 	var work float64
 	for _, n := range r.Ns {
 		if err := inputcheck.CheckClusterSize(n); err != nil {
 			return err
 		}
-		work += float64(n) * float64(n) * float64(n)
+		// The engine cost of one cell at this n: n^3 for independent
+		// fleets, the domain engines' estimate under the round-robin
+		// layout otherwise.
+		fleet := make(core.Fleet, n)
+		assignRoundRobin(fleet, domains)
+		work += core.DomainsWorkEstimate(fleet, domains)
 	}
 	if work *= float64(len(r.Ps)); work > MaxSweepWork {
 		return fmt.Errorf("sweep grid needs ~%.2g engine operations, maximum is %.2g", work, float64(MaxSweepWork))

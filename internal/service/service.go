@@ -1,16 +1,3 @@
-// Package service is the serving layer of the probcons analyzer: HTTP/JSON
-// handlers over the exact engine, with request validation, a sharded
-// memoization cache keyed by the canonical query fingerprint, singleflight
-// coalescing of concurrent identical queries, and a bounded worker pool for
-// grid sweeps.
-//
-// Endpoints:
-//
-//	POST /v1/analyze  — one fleet + model → exact Result (percent + nines)
-//	POST /v1/sweep    — (n, p) grid → JSON lines, fanned over the pool
-//	GET  /v1/tables   — paper Tables 1–2, cached after first computation
-//	GET  /healthz     — liveness probe
-//	GET  /statsz      — cache, pool, and request counters
 package service
 
 import (
@@ -37,9 +24,10 @@ type Options struct {
 	// Workers bounds concurrent engine computations — analyze misses and
 	// sweep cells alike (default NumCPU). Cache hits are never gated.
 	Workers int
-	// AnalyzeFunc computes one query; defaults to core.Analyze. Tests
+	// AnalyzeFunc computes one query; defaults to core.AnalyzeDomains
+	// (which reduces to core.Analyze for domain-free fleets). Tests
 	// instrument it to count underlying engine calls.
-	AnalyzeFunc func(core.Fleet, core.CountModel) (core.Result, error)
+	AnalyzeFunc func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 }
 
 // Server is the probconsd request handler: stateless except for the
@@ -55,7 +43,7 @@ type Options struct {
 type Server struct {
 	cache   *qcache.Cache[AnalyzeResponse]
 	memo    atomic.Pointer[memoEntry]
-	analyze func(core.Fleet, core.CountModel) (core.Result, error)
+	analyze func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 	workers int
 	sem     chan struct{}
 	start   time.Time
@@ -79,7 +67,7 @@ type memoEntry struct {
 // probabilities compare unequal and fall through to validation, which
 // rejects them.
 func equalRequests(a, b AnalyzeRequest) bool {
-	if a.Model != b.Model || len(a.Fleet) != len(b.Fleet) {
+	if a.Model != b.Model || len(a.Fleet) != len(b.Fleet) || len(a.Domains) != len(b.Domains) {
 		return false
 	}
 	if (a.P == nil) != (b.P == nil) {
@@ -92,6 +80,30 @@ func equalRequests(a, b AnalyzeRequest) bool {
 		if a.Fleet[i] != b.Fleet[i] {
 			return false
 		}
+	}
+	for i := range a.Domains {
+		if !equalDomainSpecs(a.Domains[i], b.Domains[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// equalDomainSpecs compares two wire domains by value (multipliers are
+// pointers; an explicit 1 and an omitted multiplier compare unequal here
+// and fall through to the canonicalizing L1 cache, which unifies them).
+func equalDomainSpecs(a, b DomainSpec) bool {
+	if a.Name != b.Name || a.Shock != b.Shock {
+		return false
+	}
+	if (a.CrashMult == nil) != (b.CrashMult == nil) || (a.ByzMult == nil) != (b.ByzMult == nil) {
+		return false
+	}
+	if a.CrashMult != nil && *a.CrashMult != *b.CrashMult {
+		return false
+	}
+	if a.ByzMult != nil && *a.ByzMult != *b.ByzMult {
+		return false
 	}
 	return true
 }
@@ -108,7 +120,7 @@ func New(opts Options) *Server {
 		opts.Workers = runtime.NumCPU()
 	}
 	if opts.AnalyzeFunc == nil {
-		opts.AnalyzeFunc = core.Analyze
+		opts.AnalyzeFunc = core.AnalyzeDomains
 	}
 	return &Server{
 		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
@@ -144,21 +156,33 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 		resp.Cached = true
 		return resp, nil
 	}
-	fleet, m, err := req.Query()
+	fleet, m, domains, err := req.Query()
 	if err != nil {
 		return AnalyzeResponse{}, badRequest(err)
 	}
-	resp, err := s.analyzeQuery(fleet, m)
+	resp, err := s.analyzeQuery(fleet, m, domains)
 	if err != nil {
 		return AnalyzeResponse{}, err
 	}
 	// Install in L0 with a private copy of the request: callers remain
-	// free to mutate their fleet slice afterwards.
+	// free to mutate their fleet and domains slices afterwards.
 	cp := req
 	cp.Fleet = append([]NodeSpec(nil), req.Fleet...)
 	if req.P != nil {
 		p := *req.P
 		cp.P = &p
+	}
+	cp.Domains = make([]DomainSpec, len(req.Domains))
+	for i, d := range req.Domains {
+		if d.CrashMult != nil {
+			v := *d.CrashMult
+			d.CrashMult = &v
+		}
+		if d.ByzMult != nil {
+			v := *d.ByzMult
+			d.ByzMult = &v
+		}
+		cp.Domains[i] = d
 	}
 	s.memo.Store(&memoEntry{req: cp, resp: resp})
 	return resp, nil
@@ -170,15 +194,15 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 // burst of distinct O(N^3) queries cannot pin every CPU. Only engine
 // computes take slots and computes wait for nothing else, so no hold-and-
 // wait cycle exists.
-func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel) (AnalyzeResponse, error) {
-	fp, err := core.FleetModelFingerprint(fleet, m)
+func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet) (AnalyzeResponse, error) {
+	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
 	if err != nil {
 		return AnalyzeResponse{}, badRequest(err)
 	}
 	resp, cached, err := s.cache.Do(fp.String(), func() (AnalyzeResponse, error) {
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
-		res, err := s.analyze(fleet, m)
+		res, err := s.analyze(fleet, m, domains)
 		if err != nil {
 			return AnalyzeResponse{}, err
 		}
@@ -228,6 +252,11 @@ func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writ
 	// ahead of the stream. Cell goroutines only write to their buffered
 	// slot, so they never block.
 	spawn := make(chan struct{}, s.workers)
+	// Resolve the shared domain layout once; Validate already vetted it.
+	domains, err := resolveDomains(req.Domains)
+	if err != nil {
+		return badRequest(err)
+	}
 	go func() {
 		for i, c := range cells {
 			i, n, p := i, req.Ns[c.n], req.Ps[c.p]
@@ -238,7 +267,7 @@ func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writ
 			}
 			go func() {
 				s.activeCells.Add(1)
-				line := s.sweepCell(req.Protocol, n, p)
+				line := s.sweepCell(req.Protocol, n, p, domains)
 				s.activeCells.Add(-1)
 				s.sweepCells.Add(1)
 				out[i] <- line
@@ -268,7 +297,7 @@ func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writ
 // sweepCell answers one grid point through the L1 cache directly: the
 // request was validated up front, and going through Analyze would clobber
 // the single-entry L0 memo once per cell.
-func (s *Server) sweepCell(protocol string, n int, p float64) SweepLine {
+func (s *Server) sweepCell(protocol string, n int, p float64, domains core.DomainSet) SweepLine {
 	line := SweepLine{N: n, P: p}
 	m, err := ModelSpec{Protocol: protocol, N: n}.Model()
 	if err != nil {
@@ -279,7 +308,8 @@ func (s *Server) sweepCell(protocol string, n int, p float64) SweepLine {
 	if protocol == "pbft" {
 		fleet = core.UniformByzFleet(n, p)
 	}
-	resp, err := s.analyzeQuery(fleet, m)
+	assignRoundRobin(fleet, domains)
+	resp, err := s.analyzeQuery(fleet, m, domains)
 	if err != nil {
 		line.Error = err.Error()
 		return line
@@ -298,7 +328,7 @@ func (s *Server) Tables() (TablesResponse, error) {
 	var out TablesResponse
 	for _, m := range core.Table1Configs() {
 		const pu = 0.01
-		resp, err := s.analyzeQuery(core.UniformByzFleet(m.NNodes, pu), m)
+		resp, err := s.analyzeQuery(core.UniformByzFleet(m.NNodes, pu), m, nil)
 		if err != nil {
 			return TablesResponse{}, err
 		}
@@ -307,7 +337,7 @@ func (s *Server) Tables() (TablesResponse, error) {
 	for _, n := range core.Table2Sizes() {
 		m := core.NewRaft(n)
 		for _, pu := range core.Table2PUs() {
-			resp, err := s.analyzeQuery(core.UniformCrashFleet(n, pu), m)
+			resp, err := s.analyzeQuery(core.UniformCrashFleet(n, pu), m, nil)
 			if err != nil {
 				return TablesResponse{}, err
 			}

@@ -336,10 +336,10 @@ func TestConcurrentIdenticalAnalyzeCoalesces(t *testing.T) {
 	srv := New(Options{
 		CacheCapacity: 64,
 		Workers:       4,
-		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel) (core.Result, error) {
+		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel, domains core.DomainSet) (core.Result, error) {
 			engineCalls.Add(1)
 			<-gate // hold the flight open until every request has arrived
-			return core.Analyze(fleet, m)
+			return core.AnalyzeDomains(fleet, m, domains)
 		},
 	})
 	ts := httptest.NewServer(srv.Handler())
@@ -489,10 +489,10 @@ func TestSweepCancellation(t *testing.T) {
 	block := make(chan struct{})
 	srv := New(Options{
 		Workers: 1,
-		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel) (core.Result, error) {
+		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel, domains core.DomainSet) (core.Result, error) {
 			cells.Add(1)
 			<-block
-			return core.Analyze(fleet, m)
+			return core.AnalyzeDomains(fleet, m, domains)
 		},
 	})
 	ctx, cancel := context.WithCancel(context.Background())
@@ -564,10 +564,10 @@ func TestSweepStopsOnWriterError(t *testing.T) {
 	var cells atomic.Int64
 	srv := New(Options{
 		Workers: 1,
-		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel) (core.Result, error) {
+		AnalyzeFunc: func(fleet core.Fleet, m core.CountModel, domains core.DomainSet) (core.Result, error) {
 			cells.Add(1)
 			time.Sleep(5 * time.Millisecond) // make the spawner's progress observable
-			return core.Analyze(fleet, m)
+			return core.AnalyzeDomains(fleet, m, domains)
 		},
 	})
 	ns := make([]int, 200)

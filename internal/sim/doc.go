@@ -1,0 +1,12 @@
+// Package sim is a deterministic discrete-event simulator for distributed
+// protocols: a virtual clock, a seeded RNG, a message network with
+// configurable delay, loss, partitions and node crash state, and a fault
+// injector that drives crashes from fault curves. The Raft and PBFT
+// implementations in internal/raft and internal/pbft run unmodified on top
+// of it, which is how the analytical tables are cross-validated empirically
+// (experiments V1/V2 in DESIGN.md).
+//
+// Determinism: all events at the same virtual time fire in scheduling
+// order; all randomness flows from one seed. Two runs with the same seed
+// and the same protocol code produce identical histories.
+package sim

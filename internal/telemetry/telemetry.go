@@ -1,11 +1,3 @@
-// Package telemetry closes the loop the paper's vision depends on (§4
-// "accurate fault curves"): large-scale fleets keep failure telemetry; fault
-// curves are estimated from it. Production telemetry is proprietary, so this
-// package substitutes a synthetic fleet generator with a controlled
-// ground-truth hazard, plus the estimators an operator would run on real
-// data — AFR counting, life-table (piecewise hazard) estimation, and Weibull
-// fitting by median-rank regression. Tests recover known ground truth from
-// generated data, which is exactly the pipeline telemetry→curve→analysis.
 package telemetry
 
 import (

@@ -1,0 +1,12 @@
+// Package trace records what each node of a simulated cluster committed and
+// checks the two properties the paper's analysis predicts per failure
+// configuration: agreement (safety — no two nodes commit different values
+// at the same slot) and progress (liveness — correct nodes keep committing
+// new operations).
+//
+// The recorder is the oracle the V1/V2 validation experiments compare
+// against Theorems 3.1/3.2. Invariants: agreement checking is
+// order-insensitive (commits at the same slot are compared by value), and
+// progress is judged only over nodes the injected failure configuration
+// left correct — a crashed node's silence is not a liveness violation.
+package trace

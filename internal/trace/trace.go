@@ -1,8 +1,3 @@
-// Package trace records what each node of a simulated cluster committed and
-// checks the two properties the paper's analysis predicts per failure
-// configuration: agreement (safety — no two nodes commit different values
-// at the same slot) and progress (liveness — correct nodes keep committing
-// new operations).
 package trace
 
 import (

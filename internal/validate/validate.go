@@ -1,14 +1,3 @@
-// Package validate cross-checks the analytical predicates of Theorems 3.1
-// and 3.2 against the executing protocol implementations (experiments V1
-// and V2 in DESIGN.md).
-//
-// The experimental design mirrors §3's definition of a safe/live failure
-// configuration: rather than sampling rare fault events end-to-end (which
-// would need millions of runs to see a 1e-4 tail), each failure
-// configuration is *imposed* on a simulated cluster and the run's observed
-// safety (agreement) and liveness (progress) are compared with what the
-// theorem predicts for that configuration. The configuration probabilities
-// then come from the exact engine — the same factorisation the paper uses.
 package validate
 
 import (

@@ -40,6 +40,21 @@ func (a *CachedAnalyzer) Analyze(fleet Fleet, m core.CountModel) (Result, error)
 	return res, err
 }
 
+// AnalyzeDomains is the cached counterpart of probcons.AnalyzeDomains,
+// keyed by the domain-aware canonical fingerprint: domain names and order
+// never fragment the cache, while any change to a shock probability,
+// multiplier, or membership is a distinct entry.
+func (a *CachedAnalyzer) AnalyzeDomains(fleet Fleet, m core.CountModel, domains DomainSet) (Result, error) {
+	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _, err := a.cache.Do(fp.String(), func() (core.Result, error) {
+		return core.AnalyzeDomains(fleet, m, domains)
+	})
+	return res, err
+}
+
 // RaftReliability is the cached counterpart of probcons.RaftReliability.
 func (a *CachedAnalyzer) RaftReliability(n int, p float64) (Result, error) {
 	return a.Analyze(core.UniformCrashFleet(n, p), core.NewRaft(n))

@@ -52,6 +52,52 @@ func TestCachedAnalyzerCanonicalKeying(t *testing.T) {
 	}
 }
 
+func TestCachedAnalyzerDomains(t *testing.T) {
+	a := NewCachedAnalyzer(16)
+	domains := DomainSet{
+		{Name: "za", ShockProb: 1e-3, CrashMultiplier: 40, ByzMultiplier: 1},
+		{Name: "zb", ShockProb: 1e-3, CrashMultiplier: 40, ByzMultiplier: 1},
+	}
+	fleet := CrashFleet(6, 0.02)
+	for i := range fleet {
+		fleet[i].Domain = domains[i%2].Name
+	}
+	m := NewRaft(6)
+	want, err := AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cached %+v != direct %+v", got, want)
+	}
+	// Renamed domains: same canonical key, must hit.
+	renamedFleet := append(Fleet{}, fleet...)
+	renamedDomains := append(DomainSet{}, domains...)
+	renamedDomains[0].Name, renamedDomains[1].Name = "rack-1", "rack-2"
+	for i := range renamedFleet {
+		renamedFleet[i].Domain = renamedDomains[i%2].Name
+	}
+	if _, err := a.AnalyzeDomains(renamedFleet, m, renamedDomains); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want renamed layout to hit", st)
+	}
+	// A different shock probability is a different cache entry.
+	hotter := append(DomainSet{}, domains...)
+	hotter[0].ShockProb = 2e-3
+	if _, err := a.AnalyzeDomains(fleet, m, hotter); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v, want a changed shock to miss", st)
+	}
+}
+
 func TestCachedAnalyzerHelpers(t *testing.T) {
 	a := NewCachedAnalyzer(0) // default capacity
 	res, err := a.RaftReliability(3, 0.01)

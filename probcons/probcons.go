@@ -49,6 +49,14 @@ type PBFT = core.PBFT
 // Profile is a node's (crash, Byzantine) fault probability over a window.
 type Profile = faultcurve.Profile
 
+// Domain is a named correlated failure domain — a rack, zone, or rollout
+// cohort whose members share a common-cause shock (§2(3)).
+type Domain = faultcurve.Domain
+
+// DomainSet is a fleet's failure-domain layout; Node.Domain references
+// entries by name.
+type DomainSet = core.DomainSet
+
 // NewRaft returns majority-quorum Raft over n nodes.
 func NewRaft(n int) Raft { return core.NewRaft(n) }
 
@@ -70,9 +78,17 @@ func PBFTReliability(m PBFT, p float64) Result {
 }
 
 // Analyze computes the exact guarantee of an arbitrary heterogeneous fleet
-// under a protocol model.
+// under a protocol model, assuming independent node failures.
 func Analyze(fleet Fleet, m core.CountModel) (Result, error) {
 	return core.Analyze(fleet, m)
+}
+
+// AnalyzeDomains computes the exact guarantee when nodes belong to
+// correlated failure domains: conditioned on each domain's common-cause
+// shock, node faults are independent, and the engine sums the conditions
+// exactly. With an empty DomainSet it is Analyze.
+func AnalyzeDomains(fleet Fleet, m core.CountModel, domains DomainSet) (Result, error) {
+	return core.AnalyzeDomains(fleet, m, domains)
 }
 
 // CrashFleet builds a homogeneous crash-fault fleet.
