@@ -20,10 +20,12 @@ import (
 	"repro/internal/benor"
 	"repro/internal/committee"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
 	"repro/internal/markov"
 	"repro/internal/montecarlo"
+	"repro/internal/optimize"
 	"repro/internal/planner"
 	"repro/internal/quorum"
 	"repro/internal/raft"
@@ -614,6 +616,105 @@ func BenchmarkE8Domains(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := core.AnalyzeDomains(fleet, writeOpt, domains); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// hardeningExemplar is the optimizer benchmark instance: the 5-node
+// mixed-quality Raft fleet of examples/hardening with one unit of budget.
+func hardeningExemplar() optimize.HardeningProblem {
+	bases := []float64{0.08, 0.05, 0.03, 0.02, 0.01}
+	fleet := make(core.Fleet, len(bases))
+	curves := make([]faultcurve.Response, len(bases))
+	for i, b := range bases {
+		fleet[i] = core.Node{Name: fmt.Sprintf("node-%d", i), Profile: faultcurve.Crash(b)}
+		curves[i] = faultcurve.HardeningResponse(b, 0.1, 0.25)
+	}
+	return optimize.HardeningProblem{
+		Fleet: fleet, Model: core.NewRaft(len(bases)), Curves: curves, Budget: 1.0,
+	}
+}
+
+// BenchmarkOptimizeHardening times one certified away-step Frank-Wolfe
+// solve of the hardening-budget exemplar (analytic leave-one-out
+// gradients, derivative-bisection exact line search, gap < 1e-8).
+func BenchmarkOptimizeHardening(b *testing.B) {
+	p := hardeningExemplar()
+	once("optimize-hardening", func() {
+		a, err := optimize.SolveHardening(p, optimize.Options{GapTolerance: 1e-9})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n[O1] hardening budget 1.0 over 5-node Raft: %.3f -> %.3f nines "+
+			"(uniform %.3f, +%.3f), spend %.3f, gap %.1e, %d iterations\n",
+			a.Base.Nines(), a.Optimized.Nines(), a.Uniform.Nines(),
+			a.NinesGainedOverUniform(), a.Spend, a.Gap, a.Iterations)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := optimize.SolveHardening(p, optimize.Options{GapTolerance: 1e-9})
+		if err != nil || !a.Converged {
+			b.Fatal("solve lost its certificate")
+		}
+	}
+}
+
+// BenchmarkOptimizeSeededGrid times the Frank-Wolfe-seeded mixed-tier
+// search on the costopt exemplar and reports the pruning it buys over
+// the exhaustive grid.
+func BenchmarkOptimizeSeededGrid(b *testing.B) {
+	tiers := []cost.Tier{
+		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
+		{Name: "spot", PricePerHour: 0.10, Profile: faultcurve.Crash(0.08), CarbonPerHour: 8},
+		{Name: "refurb", PricePerHour: 0.25, Profile: faultcurve.Crash(0.04), CarbonPerHour: 3},
+	}
+	o := cost.Optimizer{Tiers: tiers, MaxNodes: 11}
+	once("optimize-seeded", func() {
+		grid, err := o.CheapestMixed(3.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		seeded, err := o.CheapestMixedSeeded(3.5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Printf("\n[O2] FW-seeded tier search @3.5 nines: plan %v == grid %v; "+
+			"%d exact + %d relaxation evaluations vs %d grid cells\n",
+			seeded.Plan, grid, seeded.ExactEvaluations, seeded.RelaxationEvaluations, seeded.GridSize)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := o.CheapestMixedSeeded(3.5)
+		if err != nil || s.ExactEvaluations >= s.GridSize {
+			b.Fatal("seeding stopped pruning")
+		}
+	}
+}
+
+// BenchmarkOptimizeServiceHot times the /v1/optimize fingerprint-cache
+// hit path: the entire certified solve amortizes to one hash and one
+// cache lookup.
+func BenchmarkOptimizeServiceHot(b *testing.B) {
+	srv := service.New(service.Options{})
+	req := service.OptimizeRequest{
+		Model:  service.ModelSpec{Protocol: "raft", N: 5},
+		Budget: 1.0,
+		Curve:  service.CurveSpec{FloorFrac: 0.1, Scale: 0.25},
+	}
+	for _, base := range []float64{0.08, 0.05, 0.03, 0.02, 0.01} {
+		req.Fleet = append(req.Fleet, service.NodeSpec{Name: "n", PCrash: base})
+	}
+	if _, err := srv.Optimize(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Optimize(req)
+		if err != nil || !resp.Cached {
+			b.Fatal("hot optimize must hit the fingerprint cache")
 		}
 	}
 }

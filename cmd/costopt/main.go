@@ -1,10 +1,15 @@
 // Command costopt searches hardware tiers for the cheapest Raft fleet
-// meeting a reliability target — the paper's spot-instance economics.
+// meeting a reliability target — the paper's spot-instance economics —
+// and, with a budget, splits hardening spend across the chosen fleet with
+// the projection-free (Frank-Wolfe) optimizer.
 //
 // Usage:
 //
 //	costopt -target 3.5
 //	costopt -target 4 -max 15 -mixed
+//	costopt -target 4 -max 15 -fw                  # FW-seeded mixed search
+//	costopt -target 3.5 -budget 1.0                # harden the chosen fleet
+//	costopt -tiers tiers.json -target 4 -mixed     # custom tier table
 package main
 
 import (
@@ -16,25 +21,43 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
 	"repro/internal/inputcheck"
+	"repro/internal/optimize"
 )
 
 func main() {
 	var (
-		target = flag.Float64("target", 3.5, "required nines of safe-and-live reliability")
-		maxN   = flag.Int("max", 11, "maximum fleet size")
-		mixed  = flag.Bool("mixed", false, "allow two-tier mixed fleets")
-		carbon = flag.Bool("carbon", false, "minimise carbon instead of dollars")
+		target    = flag.Float64("target", 3.5, "required nines of safe-and-live reliability")
+		maxN      = flag.Int("max", 11, "maximum fleet size")
+		mixed     = flag.Bool("mixed", false, "allow two-tier mixed fleets (exhaustive grid)")
+		fw        = flag.Bool("fw", false, "Frank-Wolfe-seeded mixed search: a plan of the same cost as -mixed, fewer exact evaluations")
+		carbon    = flag.Bool("carbon", false, "minimise carbon instead of dollars")
+		tiersFile = flag.String("tiers", "", "JSON file defining the tier table (default: built-in three tiers)")
+		budget    = flag.Float64("budget", 0, "hardening budget to split across the chosen fleet's nodes (0 = off)")
+		iters     = flag.Int("iters", 500, "Frank-Wolfe iteration bound for -budget mode")
+		curveF    = flag.Float64("curve-floor", 0.1, "hardening floor: irreducible fraction of each node's fault probability")
+		curveS    = flag.Float64("curve-scale", 0.25, "hardening e-folding: spend that reduces the reducible share by e")
 	)
 	flag.Parse()
 
-	// Shared with the probconsd request validator (internal/inputcheck).
+	// Shared with the probconsd request validators (internal/inputcheck).
 	exitOn(inputcheck.CheckNonNegative("target", *target))
 	exitOn(inputcheck.CheckClusterSize(*maxN))
+	exitOn(inputcheck.CheckIterations(*iters))
+	if *budget != 0 {
+		exitOn(inputcheck.CheckBudget("budget", *budget))
+		exitOn(inputcheck.CheckProb("curve-floor", *curveF))
+		exitOn(inputcheck.CheckPositive("curve-scale", *curveS))
+	}
 
 	tiers := []cost.Tier{
 		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
 		{Name: "spot", PricePerHour: 0.10, Profile: faultcurve.Crash(0.08), CarbonPerHour: 8},
 		{Name: "refurb", PricePerHour: 0.25, Profile: faultcurve.Crash(0.04), CarbonPerHour: 3},
+	}
+	if *tiersFile != "" {
+		loaded, err := cost.LoadTiers(*tiersFile)
+		exitOn(err)
+		tiers = loaded
 	}
 	obj := cost.MinimizePrice
 	if *carbon {
@@ -51,9 +74,18 @@ func main() {
 		plan cost.Plan
 		err  error
 	)
-	if *mixed {
+	switch {
+	case *fw:
+		var seeded cost.SeededResult
+		seeded, err = o.CheapestMixedSeeded(*target)
+		if err == nil {
+			plan = seeded.Plan
+			fmt.Printf("\nFW-seeded search: %d exact + %d relaxation evaluations (exhaustive grid: %d)\n",
+				seeded.ExactEvaluations, seeded.RelaxationEvaluations, seeded.GridSize)
+		}
+	case *mixed:
 		plan, err = o.CheapestMixed(*target)
-	} else {
+	default:
 		plan, err = o.CheapestSingleTier(*target)
 	}
 	if err != nil {
@@ -63,6 +95,35 @@ func main() {
 	fmt.Printf("\nbest plan: %v\n", plan)
 	fmt.Printf("  %.2f nines, $%.3f/h, carbon %.1f/h\n",
 		plan.Result.Nines(), plan.PricePerHour(), plan.CarbonPerHour())
+
+	if *budget == 0 {
+		return
+	}
+
+	// Hardening mode: split the budget across the chosen fleet's nodes
+	// with away-step Frank-Wolfe over the budget-knapsack polytope.
+	fleet := plan.Fleet()
+	curves := make([]faultcurve.Response, len(fleet))
+	for i, n := range fleet {
+		curves[i] = faultcurve.HardeningResponse(n.Profile.PFail(), *curveF, *curveS)
+	}
+	alloc, err := optimize.SolveHardening(optimize.HardeningProblem{
+		Fleet:  fleet,
+		Model:  plan.Model,
+		Curves: curves,
+		Budget: *budget,
+	}, optimize.Options{MaxIterations: *iters})
+	exitOn(err)
+	fmt.Printf("\nhardening budget %.3f across %d nodes (floor %.0f%%, scale %.2f):\n",
+		*budget, len(fleet), *curveF*100, *curveS)
+	for i, n := range fleet {
+		fmt.Printf("  %-14s p=%.4f -> %.4f  spend %.4f\n",
+			n.Name, n.Profile.PFail(), curves[i].Prob(alloc.Spend[i]), alloc.Spend[i])
+	}
+	fmt.Printf("  base      %.3f nines\n", alloc.Base.Nines())
+	fmt.Printf("  uniform   %.3f nines (even split)\n", alloc.Uniform.Nines())
+	fmt.Printf("  optimized %.3f nines (+%.3f over uniform; FW gap %.2g, %d iterations)\n",
+		alloc.Optimized.Nines(), alloc.NinesGainedOverUniform(), alloc.Gap, alloc.Iterations)
 }
 
 func exitOn(err error) {

@@ -1,0 +1,106 @@
+// Optimizing a hardening budget: projection-free (Frank-Wolfe)
+// allocation over the exact engines.
+//
+// The other walkthroughs evaluate fleets someone already designed. This
+// one answers the continuous question operators actually ask: "I have a
+// fixed hardening budget — how do I split it to maximize nines?" Grid
+// search cannot answer it (the feasible set is a continuum); the
+// conditional-gradient optimizer can, because it only ever needs a
+// linear-minimization oracle over the budget polytope — no projections,
+// no external solver — and it returns a duality-gap certificate with the
+// answer.
+//
+// Two allocations are solved here:
+//
+//  1. Node hardening: one unit of spend across a 5-node Raft fleet of
+//     very mixed quality, where spend decays each node's fault
+//     probability with diminishing returns. The optimizer pours money
+//     into the worst nodes and ignores the best one — and beats the
+//     "fair" even split by a tenth of a nine.
+//  2. Shock hardening: the same budget across three availability zones'
+//     common-cause shock probabilities (generator tests, staged
+//     rollouts), judged by the exact correlated-failure engine.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/faultcurve"
+	"repro/probcons"
+)
+
+func main() {
+	// --- 1. Node hardening ---------------------------------------------
+	// Five nodes, base fault probabilities from 8% down to 1%: a fleet
+	// bought in batches over years. Spending s on a node reduces the
+	// reducible 90% of its fault probability by e per 0.25 spend units.
+	bases := []float64{0.08, 0.05, 0.03, 0.02, 0.01}
+	fleet := make(probcons.Fleet, len(bases))
+	curves := make([]faultcurve.Response, len(bases))
+	for i, b := range bases {
+		fleet[i] = probcons.Node{Name: fmt.Sprintf("node-%d", i), Profile: faultcurve.Crash(b)}
+		curves[i] = probcons.HardeningCurve(b, 0.1, 0.25)
+	}
+	alloc, err := probcons.Optimize(probcons.HardeningProblem{
+		Fleet:  fleet,
+		Model:  probcons.NewRaft(len(fleet)),
+		Curves: curves,
+		Budget: 1.0,
+	}, probcons.OptimizeOptions{GapTolerance: 1e-9})
+	check(err)
+
+	fmt.Println("5-node Raft, budget 1.0, exp response (floor 10%, scale 0.25):")
+	for i, n := range fleet {
+		fmt.Printf("  %-8s p=%.3f -> %.4f  spend %.4f\n",
+			n.Name, bases[i], curves[i].Prob(alloc.Spend[i]), alloc.Spend[i])
+	}
+	fmt.Printf("  no spend:        %.3f nines\n", alloc.Base.Nines())
+	fmt.Printf("  even split:      %.3f nines\n", alloc.Uniform.Nines())
+	fmt.Printf("  optimized split: %.3f nines (+%.3f over even; duality gap %.1e after %d iterations)\n",
+		alloc.Optimized.Nines(), alloc.NinesGainedOverUniform(), alloc.Gap, alloc.Iterations)
+	fmt.Println("  -> the optimizer defunds the best node entirely: its nines live elsewhere.")
+
+	// --- 2. Shock hardening across zones -------------------------------
+	// Nine nodes across three zones whose common-cause shocks differ by
+	// 10x: the budget now buys down shock probabilities, and the judge is
+	// the exact domain-correlated engine.
+	shocks := []float64{3e-3, 1e-3, 3e-4}
+	domains := make(probcons.DomainSet, len(shocks))
+	shockCurves := make([]faultcurve.Response, len(shocks))
+	for i, s := range shocks {
+		domains[i] = probcons.Domain{
+			Name: fmt.Sprintf("zone-%c", 'a'+i), ShockProb: s,
+			CrashMultiplier: 300, ByzMultiplier: 1,
+		}
+		shockCurves[i] = probcons.HardeningCurve(s, 0.05, 0.3)
+	}
+	zfleet := probcons.CrashFleet(9, 0.004)
+	for i := range zfleet {
+		zfleet[i].Domain = domains[i%3].Name
+	}
+	za, err := probcons.OptimizeDomains(probcons.DomainHardeningProblem{
+		Fleet:   zfleet,
+		Model:   probcons.NewRaft(9),
+		Domains: domains,
+		Curves:  shockCurves,
+		Budget:  1.0,
+	}, probcons.OptimizeOptions{GapTolerance: 1e-7, MaxIterations: 300})
+	check(err)
+
+	fmt.Println("\n9-node Raft over 3 zones (shock x300 crash), budget 1.0 on shock hardening:")
+	for i, d := range domains {
+		fmt.Printf("  %-8s shock %.1e -> %.1e  spend %.4f\n",
+			d.Name, shocks[i], shockCurves[i].Prob(za.Spend[i]), za.Spend[i])
+	}
+	fmt.Printf("  no spend:        %.3f nines\n", za.Base.Nines())
+	fmt.Printf("  even split:      %.3f nines\n", za.Uniform.Nines())
+	fmt.Printf("  optimized split: %.3f nines (+%.3f over even)\n",
+		za.Optimized.Nines(), za.NinesGainedOverUniform())
+	fmt.Println("  -> the flakiest zone absorbs most of the budget; the calm zone gets almost none.")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

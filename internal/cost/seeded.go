@@ -1,0 +1,304 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+	"repro/internal/optimize"
+)
+
+// This file is the Frank-Wolfe-seeded mixed search: a continuous
+// relaxation of the mixed-tier problem solved by the projection-free
+// optimizer (internal/optimize), whose rounding seeds the exact grid
+// search with a cheap incumbent, and whose price bound prunes the grid
+// arithmetically. The final answer is still chosen among exactly-evaluated
+// integer plans, so seeding never costs correctness — only the pruning
+// margin below is heuristic, and it only ever skips fleet sizes whose
+// *fractional* optimum already misses the target by a wide margin.
+
+// fwSeedMargin is the nines slack under the target below which a fleet
+// size's fractional relaxation is considered hopeless and its mixes are
+// skipped. The fractional uniform-mix fleet is not a proven bound on
+// integer mixes, hence the generous margin.
+const fwSeedMargin = 0.25
+
+// SeededResult is the outcome of CheapestMixedSeeded, with the work
+// accounting that makes the seeding visible.
+type SeededResult struct {
+	Plan Plan
+	// ExactEvaluations counts integer plans evaluated by the exact O(N^3)
+	// engine (seeding candidates included).
+	ExactEvaluations int
+	// RelaxationEvaluations counts fractional-fleet engine evaluations
+	// spent inside the Frank-Wolfe relaxations.
+	RelaxationEvaluations int
+	// GridSize is the number of exact evaluations the unseeded
+	// CheapestMixed grid performs on the same instance.
+	GridSize int
+	// PrunedSizes counts fleet sizes skipped wholesale (by the price
+	// bound or the relaxation margin).
+	PrunedSizes int
+}
+
+// unitCost returns the tier's per-node cost under the optimizer's
+// objective.
+func (o Optimizer) unitCost(t Tier) float64 {
+	if o.Objective == MinimizeCarbon {
+		return t.CarbonPerHour
+	}
+	return t.PricePerHour
+}
+
+// relaxedObjective builds the fractional-mix objective for fleet size n:
+// tier weights w (on the simplex) define the uniform per-node profile
+// Σ w_t · profile_t, and the value is the log-unavailability of that
+// fleet under majority Raft. It reports engine evaluations through the
+// returned counter.
+func (o Optimizer) relaxedObjective(n int) (optimize.Objective, *int) {
+	evals := new(int)
+	value := func(w []float64) float64 {
+		var pc, pb float64
+		for t, wt := range w {
+			// Finite-difference probes can push a weight a hair negative;
+			// clamp the resulting profile, not the weights, to stay smooth.
+			pc += wt * o.Tiers[t].Profile.PCrash
+			pb += wt * o.Tiers[t].Profile.PByz
+		}
+		pc, pb = dist.Clamp01(pc), dist.Clamp01(pb)
+		if pc+pb > 1 {
+			pb = 1 - pc
+		}
+		*evals++
+		fleet := make(core.Fleet, n)
+		for i := range fleet {
+			fleet[i] = core.Node{Profile: faultcurve.Profile{PCrash: pc, PByz: pb}}
+		}
+		res := core.MustAnalyze(fleet, core.NewRaft(n))
+		return math.Log(math.Max(1-res.SafeAndLive, 1e-300))
+	}
+	return optimize.FuncObjective{F: value}, evals
+}
+
+// roundWeights converts fractional per-tier node counts n·w into integer
+// candidate splits summing to n: the largest-remainder rounding plus its
+// single-node perturbations between every tier pair.
+func roundWeights(w []float64, n int) [][]int {
+	t := len(w)
+	base := make([]int, t)
+	rem := make([]float64, t)
+	sum := 0
+	for i, wi := range w {
+		x := wi * float64(n)
+		base[i] = int(math.Floor(x + 1e-12))
+		rem[i] = x - float64(base[i])
+		sum += base[i]
+	}
+	for sum < n {
+		best := 0
+		for i := range rem {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		base[best]++
+		rem[best] = -1
+		sum++
+	}
+	var out [][]int
+	out = append(out, append([]int(nil), base...))
+	for i := 0; i < t; i++ {
+		for j := 0; j < t; j++ {
+			if i == j || base[i] == 0 {
+				continue
+			}
+			c := append([]int(nil), base...)
+			c[i]--
+			c[j]++
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// specsFor materializes non-zero tier counts as Specs.
+func (o Optimizer) specsFor(counts []int) []Spec {
+	var specs []Spec
+	for t, c := range counts {
+		if c > 0 {
+			specs = append(specs, Spec{Tier: o.Tiers[t], Count: c})
+		}
+	}
+	return specs
+}
+
+// specsCost prices a candidate without materializing its fleet.
+func (o Optimizer) specsCost(counts []int) float64 {
+	var c float64
+	for t, n := range counts {
+		c += float64(n) * o.unitCost(o.Tiers[t])
+	}
+	return c
+}
+
+// CheapestMixedSeeded answers the same question as CheapestMixed — the
+// cheapest (or lowest-carbon) majority-Raft fleet reaching targetNines,
+// over single- and two-tier mixes up to MaxNodes — but seeds the search
+// with the rounded Frank-Wolfe relaxation and prunes the grid by the
+// incumbent's cost, so most grid cells are rejected arithmetically
+// instead of with an O(N^3) engine call.
+func (o Optimizer) CheapestMixedSeeded(targetNines float64) (SeededResult, error) {
+	out := SeededResult{GridSize: o.gridSize()}
+	if len(o.Tiers) == 0 || o.MaxNodes < 1 {
+		return out, fmt.Errorf("cost: seeded search needs tiers and MaxNodes >= 1")
+	}
+	target := dist.FromNines(targetNines)
+	var best *Plan
+	bestCost := math.Inf(1)
+	// Every candidate is identified by its per-tier count vector; seeding
+	// and the exact phase overlap, so memoize (count vector → met target)
+	// to never pay the O(N^3) engine twice for the same plan.
+	seen := make(map[string]bool)
+	consider := func(counts []int) (metTarget bool) {
+		key := fmt.Sprint(counts)
+		if met, ok := seen[key]; ok {
+			return met
+		}
+		out.ExactEvaluations++
+		plan, ok := o.evalPlan(o.specsFor(counts), target)
+		seen[key] = ok
+		if !ok {
+			return false
+		}
+		if c := o.objective(plan); c < bestCost {
+			p := plan
+			best, bestCost = &p, c
+		}
+		return true
+	}
+	countsOf := func(pairs ...int) []int { // tierIndex, count pairs
+		counts := make([]int, len(o.Tiers))
+		for i := 0; i+1 < len(pairs); i += 2 {
+			counts[pairs[i]] = pairs[i+1]
+		}
+		return counts
+	}
+
+	minUnit := math.Inf(1)
+	maxUnit := 0.0
+	for _, t := range o.Tiers {
+		minUnit = math.Min(minUnit, o.unitCost(t))
+		maxUnit = math.Max(maxUnit, o.unitCost(t))
+	}
+
+	// Seed 1: single-tier plans, stopping at the first (cheapest) size per
+	// tier exactly like CheapestSingleTier.
+	for ti, tier := range o.Tiers {
+		for n := 1; n <= o.MaxNodes; n++ {
+			if float64(n)*o.unitCost(tier) >= bestCost {
+				break
+			}
+			if consider(countsOf(ti, n)) {
+				break // larger fleets of the same tier cost strictly more
+			}
+		}
+	}
+
+	// Seed 2: per fleet size, solve the fractional relaxation under the
+	// incumbent's budget and round it into exact candidates.
+	for n := 2; n <= o.MaxNodes; n++ {
+		if float64(n)*minUnit >= bestCost {
+			out.PrunedSizes++
+			continue
+		}
+		budget := float64(n) * maxUnit
+		if bestCost < math.Inf(1) {
+			budget = math.Min(budget, bestCost)
+		}
+		costs := make([]float64, len(o.Tiers))
+		for t, tier := range o.Tiers {
+			costs[t] = o.unitCost(tier)
+		}
+		poly := optimize.BudgetedSimplex{N: len(o.Tiers), Scale: 1, Costs: costs, Budget: budget / float64(n)}
+		if poly.Validate() != nil {
+			out.PrunedSizes++
+			continue
+		}
+		obj, evals := o.relaxedObjective(n)
+		sol, err := optimize.AwayStepFrankWolfe(obj, poly, optimize.Options{
+			MaxIterations: 80,
+			GapTolerance:  1e-6,
+		})
+		out.RelaxationEvaluations += *evals
+		if err != nil {
+			return out, err
+		}
+		// sol.Value is ln(unavailability) of the best fractional mix.
+		relaxedNines := dist.Nines(-math.Expm1(sol.Value))
+		if relaxedNines < targetNines-fwSeedMargin {
+			out.PrunedSizes++
+			continue
+		}
+		for _, counts := range roundWeights(sol.X, n) {
+			// Stay inside the grid's search space: CheapestMixed considers
+			// single- and two-tier mixes only, and the agreement contract
+			// is against that space. A 3-positive-weight relaxation just
+			// contributes no seed.
+			nonzero := 0
+			for _, c := range counts {
+				if c > 0 {
+					nonzero++
+				}
+			}
+			if nonzero > 2 || o.specsCost(counts) >= bestCost {
+				continue
+			}
+			consider(counts)
+		}
+	}
+
+	// Exact phase: the CheapestMixed grid with arithmetic cost pruning
+	// against the incumbent.
+	for i, a := range o.Tiers {
+		for n := 1; n <= o.MaxNodes; n++ {
+			if float64(n)*o.unitCost(a) >= bestCost {
+				continue
+			}
+			consider(countsOf(i, n))
+		}
+		for j := i + 1; j < len(o.Tiers); j++ {
+			b := o.Tiers[j]
+			for na := 1; na < o.MaxNodes; na++ {
+				for nb := 1; na+nb <= o.MaxNodes; nb++ {
+					if float64(na)*o.unitCost(a)+float64(nb)*o.unitCost(b) >= bestCost {
+						continue
+					}
+					consider(countsOf(i, na, j, nb))
+				}
+			}
+		}
+	}
+	if best == nil {
+		return out, fmt.Errorf("cost: no fleet of <= %d nodes reaches %.2f nines", o.MaxNodes, targetNines)
+	}
+	out.Plan = *best
+	return out, nil
+}
+
+// gridSize counts the exact evaluations the unseeded CheapestMixed
+// performs: every single-tier size plus every two-tier split.
+func (o Optimizer) gridSize() int {
+	t := len(o.Tiers)
+	n := o.MaxNodes
+	if n < 1 {
+		return 0
+	}
+	singles := t * n
+	pairsPerTierPair := 0
+	for na := 1; na < n; na++ {
+		pairsPerTierPair += n - na
+	}
+	return singles + t*(t-1)/2*pairsPerTierPair
+}

@@ -1,0 +1,142 @@
+package cost
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+// exemplarTiers is the cmd/costopt default table, duplicated here as the
+// instance the FW-vs-grid agreement is pinned on.
+func exemplarTiers() []Tier {
+	return []Tier{
+		{Name: "dedicated", PricePerHour: 1.00, Profile: faultcurve.Crash(0.01), CarbonPerHour: 10},
+		{Name: "spot", PricePerHour: 0.10, Profile: faultcurve.Crash(0.08), CarbonPerHour: 8},
+		{Name: "refurb", PricePerHour: 0.25, Profile: faultcurve.Crash(0.04), CarbonPerHour: 3},
+	}
+}
+
+// TestSeededMatchesGrid is the agreement satellite: on the costopt
+// exemplar, the FW-seeded search must return a plan of identical cost and
+// reliability (within tolerance) to the exhaustive grid, for several
+// targets, while evaluating fewer integer plans than the grid.
+func TestSeededMatchesGrid(t *testing.T) {
+	for _, target := range []float64{2.5, 3.5, 4.0, 4.5} {
+		o := Optimizer{Tiers: exemplarTiers(), MaxNodes: 11}
+		grid, gridErr := o.CheapestMixed(target)
+		seeded, seedErr := o.CheapestMixedSeeded(target)
+		if (gridErr == nil) != (seedErr == nil) {
+			t.Fatalf("target %v: grid err %v, seeded err %v", target, gridErr, seedErr)
+		}
+		if gridErr != nil {
+			continue
+		}
+		if diff := math.Abs(grid.PricePerHour() - seeded.Plan.PricePerHour()); diff > 1e-9 {
+			t.Errorf("target %v: grid price %v, seeded price %v", target, grid.PricePerHour(), seeded.Plan.PricePerHour())
+		}
+		if diff := math.Abs(grid.Result.Nines() - seeded.Plan.Result.Nines()); diff > 1e-6 {
+			t.Errorf("target %v: grid %v nines, seeded %v nines", target, grid.Result.Nines(), seeded.Plan.Result.Nines())
+		}
+		if seeded.ExactEvaluations >= seeded.GridSize {
+			t.Errorf("target %v: seeding did not prune: %d exact evaluations vs grid %d",
+				target, seeded.ExactEvaluations, seeded.GridSize)
+		}
+	}
+}
+
+// TestSeededUnreachableTarget mirrors the grid's error behaviour.
+func TestSeededUnreachableTarget(t *testing.T) {
+	o := Optimizer{Tiers: exemplarTiers(), MaxNodes: 3}
+	if _, err := o.CheapestMixedSeeded(12); err == nil {
+		t.Fatal("want error for an unreachable target")
+	}
+	if _, err := (Optimizer{}).CheapestMixedSeeded(3); err == nil {
+		t.Fatal("want error for an empty optimizer")
+	}
+}
+
+// TestSeededCarbonObjective checks the relaxation follows the selected
+// objective: under MinimizeCarbon the seeded answer must match the
+// carbon-optimal grid answer.
+func TestSeededCarbonObjective(t *testing.T) {
+	o := Optimizer{Tiers: exemplarTiers(), MaxNodes: 9, Objective: MinimizeCarbon}
+	grid, err := o.CheapestMixed(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded, err := o.CheapestMixedSeeded(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(grid.CarbonPerHour() - seeded.Plan.CarbonPerHour()); diff > 1e-9 {
+		t.Errorf("grid carbon %v, seeded %v", grid.CarbonPerHour(), seeded.Plan.CarbonPerHour())
+	}
+}
+
+func TestRoundWeights(t *testing.T) {
+	for _, c := range []struct {
+		w []float64
+		n int
+	}{
+		{[]float64{0.5, 0.3, 0.2}, 7},
+		{[]float64{1, 0, 0}, 5},
+		{[]float64{0.34, 0.33, 0.33}, 3},
+	} {
+		for _, counts := range roundWeights(c.w, c.n) {
+			sum := 0
+			for _, v := range counts {
+				if v < 0 {
+					t.Fatalf("negative count in %v", counts)
+				}
+				sum += v
+			}
+			if sum != c.n {
+				t.Fatalf("rounding %v for n=%d gave %v (sum %d)", c.w, c.n, counts, sum)
+			}
+		}
+	}
+}
+
+func TestParseTiers(t *testing.T) {
+	good := `[
+		{"name": "dedicated", "price_per_hour": 1.0, "p_crash": 0.01, "carbon_per_hour": 10},
+		{"name": "spot", "price_per_hour": 0.1, "p_crash": 0.08, "p_byz": 0.001}
+	]`
+	tiers, err := ParseTiers([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiers) != 2 || tiers[1].Profile.PByz != 0.001 || tiers[0].CarbonPerHour != 10 {
+		t.Fatalf("parsed %+v", tiers)
+	}
+	for name, bad := range map[string]string{
+		"not json":        `{`,
+		"empty":           `[]`,
+		"no name":         `[{"price_per_hour": 1, "p_crash": 0.1}]`,
+		"duplicate":       `[{"name":"a","price_per_hour":1,"p_crash":0.1},{"name":"a","price_per_hour":2,"p_crash":0.1}]`,
+		"zero price":      `[{"name":"a","price_per_hour":0,"p_crash":0.1}]`,
+		"bad profile":     `[{"name":"a","price_per_hour":1,"p_crash":0.9,"p_byz":0.2}]`,
+		"negative carbon": `[{"name":"a","price_per_hour":1,"p_crash":0.1,"carbon_per_hour":-1}]`,
+	} {
+		if _, err := ParseTiers([]byte(bad)); err == nil {
+			t.Errorf("%s: want parse error", name)
+		}
+	}
+}
+
+func TestLoadTiers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiers.json")
+	if err := os.WriteFile(path, []byte(`[{"name":"a","price_per_hour":1,"p_crash":0.1}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tiers, err := LoadTiers(path)
+	if err != nil || len(tiers) != 1 {
+		t.Fatalf("tiers %v, err %v", tiers, err)
+	}
+	if _, err := LoadTiers(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for a missing file")
+	}
+}

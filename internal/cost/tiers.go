@@ -1,0 +1,71 @@
+package cost
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/faultcurve"
+	"repro/internal/inputcheck"
+)
+
+// TierSpec is the wire form of one hardware tier in a `costopt -tiers`
+// JSON file: an array of these objects.
+type TierSpec struct {
+	Name         string  `json:"name"`
+	PricePerHour float64 `json:"price_per_hour"`
+	// PCrash/PByz form the tier's per-node fault profile over the mission
+	// window.
+	PCrash        float64 `json:"p_crash"`
+	PByz          float64 `json:"p_byz,omitempty"`
+	CarbonPerHour float64 `json:"carbon_per_hour,omitempty"`
+}
+
+// ParseTiers decodes and validates a tier table, sharing the probconsd
+// request validators (internal/inputcheck) so the CLI and the service
+// reject identical inputs identically.
+func ParseTiers(data []byte) ([]Tier, error) {
+	var specs []TierSpec
+	if err := json.Unmarshal(data, &specs); err != nil {
+		return nil, fmt.Errorf("cost: bad tiers JSON: %w", err)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cost: tiers file defines no tiers")
+	}
+	seen := make(map[string]bool, len(specs))
+	tiers := make([]Tier, len(specs))
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("cost: tier %d: name is required", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cost: duplicate tier name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if err := inputcheck.CheckPositive(fmt.Sprintf("tier %q price_per_hour", s.Name), s.PricePerHour); err != nil {
+			return nil, fmt.Errorf("cost: %w", err)
+		}
+		if err := inputcheck.CheckProfile(s.PCrash, s.PByz); err != nil {
+			return nil, fmt.Errorf("cost: tier %q: %w", s.Name, err)
+		}
+		if err := inputcheck.CheckNonNegative(fmt.Sprintf("tier %q carbon_per_hour", s.Name), s.CarbonPerHour); err != nil {
+			return nil, fmt.Errorf("cost: %w", err)
+		}
+		tiers[i] = Tier{
+			Name:          s.Name,
+			PricePerHour:  s.PricePerHour,
+			Profile:       faultcurve.Profile{PCrash: s.PCrash, PByz: s.PByz},
+			CarbonPerHour: s.CarbonPerHour,
+		}
+	}
+	return tiers, nil
+}
+
+// LoadTiers reads and parses a tier table file.
+func LoadTiers(path string) ([]Tier, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("cost: %w", err)
+	}
+	return ParseTiers(data)
+}

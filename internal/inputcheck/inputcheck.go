@@ -85,6 +85,44 @@ func CheckPositive(name string, v float64) error {
 	return nil
 }
 
+// MaxIterations bounds optimizer iteration counts. Away-step Frank-Wolfe
+// certifies the exemplar problems in tens of iterations; 100k is far past
+// any legitimate request while keeping the worst-case service compute
+// bounded.
+const MaxIterations = 100_000
+
+// CheckIterations rejects optimizer iteration bounds outside
+// [1, MaxIterations] — shared by the /v1/optimize validator and the
+// costopt -iters flag.
+func CheckIterations(n int) error {
+	if n < 1 {
+		return fmt.Errorf("iterations must be >= 1, got %d", n)
+	}
+	if n > MaxIterations {
+		return fmt.Errorf("iterations %d exceeds maximum %d", n, MaxIterations)
+	}
+	return nil
+}
+
+// MaxBudget bounds hardening budgets. Budgets only enter through
+// exponentially-decaying response curves, so anything past 1e9 spend
+// units is indistinguishable from infinite; rejecting it catches unit
+// mistakes instead of silently saturating.
+const MaxBudget = 1e9
+
+// CheckBudget rejects budgets that are non-positive, non-finite, or
+// absurdly large — shared by the /v1/optimize validator and the costopt
+// -budget flag.
+func CheckBudget(name string, b float64) error {
+	if math.IsNaN(b) || b <= 0 {
+		return fmt.Errorf("%s must be > 0, got %v", name, b)
+	}
+	if b > MaxBudget {
+		return fmt.Errorf("%s %v exceeds maximum %v", name, b, float64(MaxBudget))
+	}
+	return nil
+}
+
 // CheckNonNegative rejects negative values (rates, nines targets).
 func CheckNonNegative(name string, v float64) error {
 	if math.IsNaN(v) || v < 0 {

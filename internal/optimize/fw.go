@@ -1,0 +1,426 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Objective is a smooth function with a gradient, the thing the solvers
+// minimize. Implementations may assume x is feasible up to the small
+// perturbations of finite-difference probing.
+type Objective interface {
+	// Value evaluates f(x).
+	Value(x []float64) float64
+	// Grad writes ∇f(x) into out (len(out) == len(x)).
+	Grad(x, out []float64)
+}
+
+// FuncObjective adapts plain closures to Objective. G may be nil, in
+// which case Grad falls back to central differences with step H (H <= 0
+// selects the default step).
+type FuncObjective struct {
+	F func(x []float64) float64
+	G func(x, out []float64)
+	H float64
+}
+
+// Value implements Objective.
+func (o FuncObjective) Value(x []float64) float64 { return o.F(x) }
+
+// Grad implements Objective.
+func (o FuncObjective) Grad(x, out []float64) {
+	if o.G != nil {
+		o.G(x, out)
+		return
+	}
+	CentralDiffGrad(o.F, x, o.H, out)
+}
+
+// LineSearch selects how step sizes along a Frank-Wolfe direction are
+// chosen.
+type LineSearch int
+
+// Line searches.
+const (
+	// LineSearchExact minimizes the 1-D restriction by golden-section
+	// search — the right default when objective evaluations are cheap
+	// relative to engine gradients, as they are here.
+	LineSearchExact LineSearch = iota
+	// LineSearchBacktracking is Armijo backtracking from the maximal
+	// step: cheaper per iteration, more iterations to a given gap.
+	LineSearchBacktracking
+)
+
+// Options tunes the solvers. Zero values take defaults.
+type Options struct {
+	// MaxIterations bounds the outer loop (default 500).
+	MaxIterations int
+	// GapTolerance is the duality-gap stopping certificate (default 1e-8):
+	// the solver stops once max_v <∇f(x), x-v> <= GapTolerance.
+	GapTolerance float64
+	// LineSearch selects the step rule (default LineSearchExact).
+	LineSearch LineSearch
+	// TrackGaps records the per-iteration duality gap into Solution.Gaps
+	// (used by the convergence-rate tests; off by default).
+	TrackGaps bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 500
+	}
+	if o.GapTolerance <= 0 {
+		o.GapTolerance = 1e-8
+	}
+	return o
+}
+
+// Validate rejects non-finite tolerances.
+func (o Options) Validate() error {
+	if math.IsNaN(o.GapTolerance) || math.IsInf(o.GapTolerance, 0) || o.GapTolerance < 0 {
+		return fmt.Errorf("optimize: gap tolerance must be finite and >= 0, got %v", o.GapTolerance)
+	}
+	return nil
+}
+
+// Solution is a solver's result.
+type Solution struct {
+	// X is the final feasible iterate.
+	X []float64
+	// Value is f(X).
+	Value float64
+	// Gap is the Frank-Wolfe duality gap max_v <∇f(X), X-v> at X: an
+	// upper bound on f(X)-f* for convex f, a stationarity certificate
+	// otherwise.
+	Gap float64
+	// Iterations is the number of outer iterations performed.
+	Iterations int
+	// Converged reports whether Gap <= GapTolerance was certified.
+	Converged bool
+	// Evaluations counts objective Value calls and GradEvaluations counts
+	// Grad calls, line searches and certification included. Under the
+	// default exact line search the work lives in GradEvaluations (the
+	// step is found by bisecting the directional derivative); Armijo
+	// backtracking spends Value calls instead.
+	Evaluations     int
+	GradEvaluations int
+	// Gaps is the per-iteration duality gap when Options.TrackGaps is set.
+	Gaps []float64
+}
+
+// countingObjective wraps an Objective to meter the Solution's
+// Evaluations/GradEvaluations accounting.
+type countingObjective struct {
+	obj    Objective
+	values int
+	grads  int
+}
+
+func (c *countingObjective) Value(x []float64) float64 { c.values++; return c.obj.Value(x) }
+func (c *countingObjective) Grad(x, out []float64)     { c.grads++; c.obj.Grad(x, out) }
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// FrankWolfe minimizes obj over the polytope by the vanilla conditional-
+// gradient method: at each iterate, the LMO proposes the vertex the
+// linearized objective favors, and the step moves toward it. Every iterate
+// is a convex combination of vertices, hence feasible — no projections.
+func FrankWolfe(obj Objective, p Polytope, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := p.Dim()
+	cobj := &countingObjective{obj: obj}
+	obj = cobj
+	x := p.Start()
+	grad := make([]float64, n)
+	d := make([]float64, n)
+	sol := Solution{}
+	for t := 0; t < opts.MaxIterations; t++ {
+		obj.Grad(x, grad)
+		v := p.LinearMinimize(grad)
+		for i := range d {
+			d[i] = v[i] - x[i]
+		}
+		gap := -dot(grad, d)
+		if opts.TrackGaps {
+			sol.Gaps = append(sol.Gaps, gap)
+		}
+		sol.Gap = gap
+		sol.Iterations = t
+		if gap <= opts.GapTolerance {
+			sol.Converged = true
+			break
+		}
+		slope := dot(grad, d)
+		gamma := stepSize(obj, x, d, 1, slope, opts.LineSearch)
+		if gamma == 0 {
+			// The line search could not improve along a descent
+			// direction: numerically stationary.
+			break
+		}
+		for i := range x {
+			x[i] += gamma * d[i]
+		}
+		sol.Iterations = t + 1 // this iteration completed with a step
+	}
+	sol.X = x
+	sol.Value = obj.Value(x)
+	if !sol.Converged {
+		// Certify the gap at the returned point.
+		obj.Grad(x, grad)
+		v := p.LinearMinimize(grad)
+		for i := range d {
+			d[i] = v[i] - x[i]
+		}
+		sol.Gap = -dot(grad, d)
+		sol.Converged = sol.Gap <= opts.GapTolerance
+	}
+	sol.Evaluations = cobj.values
+	sol.GradEvaluations = cobj.grads
+	return sol, nil
+}
+
+// vertexAtom is one active vertex of the away-step iterate.
+type vertexAtom struct {
+	v []float64
+	w float64
+}
+
+func vertexKey(v []float64) string {
+	b := make([]byte, 0, 8*len(v))
+	for _, f := range v {
+		u := math.Float64bits(f)
+		b = append(b, byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+			byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+	}
+	return string(b)
+}
+
+// AwayStepFrankWolfe minimizes obj over the polytope by away-step
+// Frank-Wolfe (Lacoste-Julien & Jaggi 2015): the iterate is maintained as
+// an explicit convex combination of vertices, and each iteration either
+// moves toward the LMO vertex (FW step) or away from the worst active
+// vertex (away step), which removes the zig-zagging that limits vanilla
+// FW to O(1/t) when the optimum lies on a face — on polytopes it
+// converges linearly for smooth strongly convex objectives.
+func AwayStepFrankWolfe(obj Objective, p Polytope, opts Options) (Solution, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if err := p.Validate(); err != nil {
+		return Solution{}, err
+	}
+	n := p.Dim()
+	cobj := &countingObjective{obj: obj}
+	obj = cobj
+
+	// Start from a vertex so the iterate is a convex combination of
+	// vertices from the first step. The active set is an ORDERED slice
+	// (plus an index for lookups): iterating a Go map would make both the
+	// away-vertex tie-break and the float summation order — and therefore
+	// the returned bits — vary run to run, breaking the deterministic-
+	// solver contract the fingerprint caches rely on.
+	x := p.LinearMinimize(make([]float64, n))
+	var active []*vertexAtom
+	index := map[string]int{}
+	{
+		v := append([]float64(nil), x...)
+		index[vertexKey(v)] = 0
+		active = append(active, &vertexAtom{v: v, w: 1})
+	}
+	rebuild := func() {
+		for i := range x {
+			x[i] = 0
+		}
+		for _, a := range active {
+			for i := range x {
+				x[i] += a.w * a.v[i]
+			}
+		}
+	}
+	remove := func(pos int) {
+		delete(index, vertexKey(active[pos].v))
+		active = append(active[:pos], active[pos+1:]...)
+		for i := pos; i < len(active); i++ {
+			index[vertexKey(active[i].v)] = i
+		}
+	}
+
+	grad := make([]float64, n)
+	d := make([]float64, n)
+	sol := Solution{}
+	for t := 0; t < opts.MaxIterations; t++ {
+		obj.Grad(x, grad)
+		s := p.LinearMinimize(grad)
+		fwGap := dot(grad, x) - dot(grad, s)
+		if opts.TrackGaps {
+			sol.Gaps = append(sol.Gaps, fwGap)
+		}
+		sol.Gap = fwGap
+		sol.Iterations = t
+		if fwGap <= opts.GapTolerance {
+			sol.Converged = true
+			break
+		}
+		// Away vertex: the active vertex the gradient most wants to leave
+		// (first in insertion order on ties — deterministic).
+		var away *vertexAtom
+		awayPos := -1
+		awayScore := math.Inf(-1)
+		for pos, a := range active {
+			if sc := dot(grad, a.v); sc > awayScore {
+				awayScore = sc
+				away = a
+				awayPos = pos
+			}
+		}
+		awayGap := awayScore - dot(grad, x)
+
+		var gammaMax float64
+		fwStep := fwGap >= awayGap || away == nil || away.w >= 1
+		if fwStep {
+			for i := range d {
+				d[i] = s[i] - x[i]
+			}
+			gammaMax = 1
+		} else {
+			for i := range d {
+				d[i] = x[i] - away.v[i]
+			}
+			gammaMax = away.w / (1 - away.w)
+		}
+		slope := dot(grad, d)
+		gamma := stepSize(obj, x, d, gammaMax, slope, opts.LineSearch)
+		if gamma == 0 {
+			break
+		}
+		if fwStep {
+			if gamma >= 1 {
+				active = active[:0]
+				index = map[string]int{}
+				v := append([]float64(nil), s...)
+				index[vertexKey(v)] = 0
+				active = append(active, &vertexAtom{v: v, w: 1})
+			} else {
+				for _, a := range active {
+					a.w *= 1 - gamma
+				}
+				key := vertexKey(s)
+				if pos, ok := index[key]; ok {
+					active[pos].w += gamma
+				} else {
+					v := append([]float64(nil), s...)
+					index[key] = len(active)
+					active = append(active, &vertexAtom{v: v, w: gamma})
+				}
+			}
+		} else {
+			for _, a := range active {
+				a.w *= 1 + gamma
+			}
+			away.w -= gamma
+			if away.w <= 1e-14 {
+				remove(awayPos) // drop step
+			}
+		}
+		// Recompute the iterate from the combination: keeps x and the
+		// weights consistent to machine precision over many steps.
+		rebuild()
+		sol.Iterations = t + 1 // this iteration completed with a step
+	}
+	sol.X = x
+	sol.Value = obj.Value(x)
+	if !sol.Converged {
+		obj.Grad(x, grad)
+		s := p.LinearMinimize(grad)
+		sol.Gap = dot(grad, x) - dot(grad, s)
+		sol.Converged = sol.Gap <= opts.GapTolerance
+	}
+	sol.Evaluations = cobj.values
+	sol.GradEvaluations = cobj.grads
+	return sol, nil
+}
+
+// stepSize picks γ ∈ [0, gammaMax] along d from x. slope is <∇f(x), d>,
+// negative for descent directions.
+func stepSize(obj Objective, x, d []float64, gammaMax, slope float64, ls LineSearch) float64 {
+	if gammaMax <= 0 || slope >= 0 {
+		return 0
+	}
+	switch ls {
+	case LineSearchBacktracking:
+		return backtrack(obj.Value, x, d, gammaMax, slope)
+	default:
+		return exactStep(obj, x, d, gammaMax)
+	}
+}
+
+// backtrack is Armijo backtracking: halve from gammaMax until the
+// sufficient-decrease condition holds.
+func backtrack(f func([]float64) float64, x, d []float64, gammaMax, slope float64) float64 {
+	const c, shrink = 1e-4, 0.5
+	f0 := f(x)
+	trial := make([]float64, len(x))
+	gamma := gammaMax
+	for i := 0; i < 60; i++ {
+		for j := range trial {
+			trial[j] = x[j] + gamma*d[j]
+		}
+		if f(trial) <= f0+c*gamma*slope {
+			return gamma
+		}
+		gamma *= shrink
+	}
+	return 0
+}
+
+// exactStep minimizes φ(γ) = f(x + γd) over [0, gammaMax] by bisecting
+// the sign of the directional derivative φ'(γ) = <∇f(x+γd), d>, assuming
+// φ is unimodal on the segment. Working on the derivative instead of
+// function values matters: f-value comparisons cannot resolve steps finer
+// than √(ε·|f|), which caps the achievable duality gap around 1e-8;
+// derivative signs resolve to full machine precision, so the solvers can
+// certify gaps well below that.
+//
+// φ'(0) < 0 is guaranteed by the caller (descent direction). φ' < 0
+// everywhere on [0, γ*) means every bisection iterate is a strict
+// improvement, so the returned step always descends.
+func exactStep(obj Objective, x, d []float64, gammaMax float64) float64 {
+	trial := make([]float64, len(x))
+	grad := make([]float64, len(x))
+	dphi := func(g float64) float64 {
+		for j := range trial {
+			trial[j] = x[j] + g*d[j]
+		}
+		obj.Grad(trial, grad)
+		return dot(grad, d)
+	}
+	if dphi(gammaMax) <= 0 {
+		return gammaMax // still descending at the boundary
+	}
+	lo, hi := 0.0, gammaMax
+	for i := 0; i < 64 && hi > lo; i++ {
+		mid := 0.5 * (lo + hi)
+		if mid <= lo || mid >= hi {
+			break
+		}
+		if dphi(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,172 @@
+package optimize
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+)
+
+// Allocation is the result of a budget-allocation solve: where the money
+// goes and what it buys.
+type Allocation struct {
+	// Spend is the per-node (or per-domain) allocation.
+	Spend []float64
+	// Base is the exact Result at zero spend.
+	Base core.Result
+	// Optimized is the exact Result at Spend.
+	Optimized core.Result
+	// Uniform is the exact Result when the budget is split evenly — the
+	// baseline an optimizer must beat to matter.
+	Uniform core.Result
+	// Solution carries the solver certificate: duality Gap, Iterations,
+	// Converged, Evaluations.
+	Solution
+}
+
+// NinesGainedOverUniform reports how many nines the optimized split buys
+// beyond the even split of the same budget.
+func (a Allocation) NinesGainedOverUniform() float64 {
+	return a.Optimized.Nines() - a.Uniform.Nines()
+}
+
+// SolveHardening allocates the node-hardening budget by away-step
+// Frank-Wolfe over the budget-knapsack polytope and certifies the result
+// with the duality gap.
+func SolveHardening(p HardeningProblem, opts Options) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	return solveAllocation(p.Objective(), p.Polytope(), opts, len(p.Fleet), p.Budget, p.Eval)
+}
+
+// SolveDomainHardening allocates the shock-hardening budget across
+// failure domains the same way.
+func SolveDomainHardening(p DomainHardeningProblem, opts Options) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return Allocation{}, err
+	}
+	return solveAllocation(p.Objective(), p.Polytope(), opts, len(p.Domains), p.Budget, p.Eval)
+}
+
+// solveAllocation runs the shared solve-and-report path of both
+// applications.
+func solveAllocation(obj Objective, poly Knapsack, opts Options, dim int, budget float64, eval func([]float64) core.Result) (Allocation, error) {
+	sol, err := AwayStepFrankWolfe(obj, poly, opts)
+	if err != nil {
+		return Allocation{}, err
+	}
+	zero := make([]float64, dim)
+	uniform := make([]float64, dim)
+	per := math.Min(budget/float64(dim), poly.Hi[0])
+	for i := range uniform {
+		uniform[i] = per
+	}
+	return Allocation{
+		Spend:     sol.X,
+		Base:      eval(zero),
+		Optimized: eval(sol.X),
+		Uniform:   eval(uniform),
+		Solution:  sol,
+	}, nil
+}
+
+// fingerprintDomain versions the optimize cache-key encoding, keeping it
+// disjoint from the analysis-query hash domain.
+const fingerprintDomain = "probcons-optimize-v1"
+
+// Fingerprint returns the canonical cache key of a hardening solve:
+// identical keys guarantee identical Allocations (the solver is
+// deterministic). Unlike the analyze fingerprint, the encoding is
+// POSITIONAL — node order matters, because the cached Spend vector is
+// indexed by node. The analyze fingerprint's sorted, permutation-
+// invariant encoding would alias permuted fleets onto each other's
+// allocations. Only ExpResponse curves are fingerprintable; other
+// Response implementations get an error rather than a silently
+// colliding key.
+func (p HardeningProblem) Fingerprint(opts Options) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	query := positionalQueryBits(p.Fleet, p.Model, p.Domains)
+	return allocationFingerprint("nodes", query, p.Curves, p.Budget, p.cap(), opts)
+}
+
+// Fingerprint is the domain-hardening counterpart of
+// HardeningProblem.Fingerprint; here the Spend vector is indexed by
+// domain, so domain order is likewise part of the key.
+func (p DomainHardeningProblem) Fingerprint(opts Options) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	query := positionalQueryBits(p.Fleet, p.Model, p.Domains)
+	return allocationFingerprint("domains", query, p.Curves, p.Budget, p.cap(), opts)
+}
+
+// positionalQueryBits encodes (fleet, model, domains) order-sensitively:
+// per-node exact profile bits plus the index of the node's domain, then
+// each domain's shock parameters in order, then the model (Name encodes
+// every quorum parameter for the models in this repo).
+func positionalQueryBits(fleet core.Fleet, m core.CountModel, domains core.DomainSet) []byte {
+	buf := make([]byte, 0, 24*len(fleet)+24*len(domains)+64)
+	appendF := func(v float64) { buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v)) }
+	byName := make(map[string]int, len(domains))
+	for i, d := range domains {
+		byName[d.Name] = i
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(fleet)))
+	for _, n := range fleet {
+		appendF(n.Profile.PCrash)
+		appendF(n.Profile.PByz)
+		di := -1
+		if n.Domain != "" {
+			di = byName[n.Domain]
+		}
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(di)))
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(domains)))
+	for _, d := range domains {
+		appendF(d.ShockProb)
+		appendF(d.CrashMultiplier)
+		appendF(d.ByzMultiplier)
+	}
+	buf = binary.BigEndian.AppendUint64(buf, uint64(m.N()))
+	buf = append(buf, m.Name()...)
+	return buf
+}
+
+func allocationFingerprint(target string, queryFP []byte, curves []faultcurve.Response, budget, capPer float64, opts Options) (string, error) {
+	opts = opts.withDefaults()
+	buf := make([]byte, 0, 64+len(queryFP)+24*len(curves))
+	buf = append(buf, fingerprintDomain...)
+	buf = append(buf, target...)
+	buf = append(buf, queryFP...)
+	appendF := func(v float64) { buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v)) }
+	appendF(budget)
+	appendF(capPer)
+	appendF(float64(opts.MaxIterations))
+	appendF(opts.GapTolerance)
+	appendF(float64(opts.LineSearch))
+	// TrackGaps changes the returned Allocation (its Gaps field), so it
+	// is part of the key like every other option.
+	trackGaps := 0.0
+	if opts.TrackGaps {
+		trackGaps = 1
+	}
+	appendF(trackGaps)
+	for i, c := range curves {
+		exp, ok := c.(faultcurve.ExpResponse)
+		if !ok {
+			return "", fmt.Errorf("optimize: curve %d (%T) is not fingerprintable; use faultcurve.ExpResponse for cached solves", i, c)
+		}
+		appendF(exp.P0)
+		appendF(exp.Floor)
+		appendF(exp.Scale)
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}

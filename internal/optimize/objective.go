@@ -1,0 +1,318 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// This file holds the objective adapters: they map a decision vector
+// (per-node or per-domain hardening spend) through faultcurve response
+// curves into fault probabilities, evaluate the exact engines, and expose
+// log-unavailability f(x) = ln(1 - SafeAndLive) as the smooth function the
+// solvers minimize. Log keeps gradients well-scaled across many nines:
+// one nine gained is one ln(10) drop in f regardless of level.
+
+// unavailFloor guards the logarithm: float64 cannot distinguish
+// probabilities within ~1e-16 of certainty, so unavailability below this
+// floor is numerical silence, not signal.
+const unavailFloor = 1e-300
+
+// logUnavail maps an exact Result to the minimized objective.
+func logUnavail(r core.Result) float64 {
+	return math.Log(math.Max(1-r.SafeAndLive, unavailFloor))
+}
+
+// byzFraction returns the share of a profile's total fault mass that is
+// Byzantine; hardened profiles preserve this split.
+func byzFraction(p faultcurve.Profile) float64 {
+	total := p.PCrash + p.PByz
+	if total <= 0 {
+		return 0
+	}
+	return p.PByz / total
+}
+
+// hardenedProfile is the profile of a node whose response curve sits at
+// the given spend, preserving the base crash/Byzantine split.
+func hardenedProfile(base faultcurve.Profile, curve faultcurve.Response, spend float64) faultcurve.Profile {
+	p := curve.Prob(spend)
+	bf := byzFraction(base)
+	return faultcurve.Profile{PCrash: p * (1 - bf), PByz: p * bf}
+}
+
+// HardeningProblem is the node-hardening budget allocation: split Budget
+// across the fleet's nodes, where node i at spend x_i has total fault
+// probability Curves[i].Prob(x_i) (crash/Byzantine split preserved from
+// its base profile), to maximize the deployment's safe-and-live nines.
+// With a non-empty Domains layout the evaluation runs the exact
+// correlated engine; spends then harden nodes, not shocks (see
+// DomainHardeningProblem for the latter).
+type HardeningProblem struct {
+	Fleet   core.Fleet
+	Model   core.CountModel
+	Domains core.DomainSet
+	// Curves maps spend to total fault probability per node. len ==
+	// len(Fleet).
+	Curves []faultcurve.Response
+	// Budget is the total spend to allocate (Σ x_i <= Budget; the
+	// optimum always uses it all when hardening helps).
+	Budget float64
+	// MaxPerNode caps any one node's spend; <= 0 means Budget.
+	MaxPerNode float64
+}
+
+// Validate rejects malformed problems.
+func (p HardeningProblem) Validate() error {
+	if len(p.Fleet) == 0 {
+		return fmt.Errorf("optimize: hardening needs a non-empty fleet")
+	}
+	if p.Model == nil || p.Model.N() != len(p.Fleet) {
+		return fmt.Errorf("optimize: hardening model/fleet size mismatch")
+	}
+	if err := p.Fleet.Validate(); err != nil {
+		return err
+	}
+	if err := p.Domains.Validate(p.Fleet); err != nil {
+		return err
+	}
+	if len(p.Curves) != len(p.Fleet) {
+		return fmt.Errorf("optimize: %d response curves for %d nodes", len(p.Curves), len(p.Fleet))
+	}
+	for i, c := range p.Curves {
+		if c == nil {
+			return fmt.Errorf("optimize: node %d has no response curve", i)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("optimize: node %d: %w", i, err)
+		}
+	}
+	if math.IsNaN(p.Budget) || math.IsInf(p.Budget, 0) || p.Budget <= 0 {
+		return fmt.Errorf("optimize: budget must be finite and > 0, got %v", p.Budget)
+	}
+	return nil
+}
+
+func (p HardeningProblem) cap() float64 {
+	if p.MaxPerNode > 0 {
+		return math.Min(p.MaxPerNode, p.Budget)
+	}
+	return p.Budget
+}
+
+// Polytope returns the feasible region: the budget knapsack
+// { 0 <= x_i <= cap, Σ x_i <= Budget } with unit costs.
+func (p HardeningProblem) Polytope() Knapsack {
+	n := len(p.Fleet)
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	c := p.cap()
+	for i := range hi {
+		hi[i] = c
+	}
+	return Knapsack{Lo: lo, Hi: hi, Budget: p.Budget}
+}
+
+// fleetAt materializes the hardened fleet at spend vector x.
+func (p HardeningProblem) fleetAt(x []float64) core.Fleet {
+	fleet := make(core.Fleet, len(p.Fleet))
+	copy(fleet, p.Fleet)
+	for i := range fleet {
+		fleet[i].Profile = hardenedProfile(p.Fleet[i].Profile, p.Curves[i], x[i])
+	}
+	return fleet
+}
+
+// Eval runs the exact engine on the hardened fleet at x. The problem must
+// have passed Validate; hardened profiles are always valid, so the engine
+// cannot reject the query.
+func (p HardeningProblem) Eval(x []float64) core.Result {
+	res, err := core.AnalyzeDomains(p.fleetAt(x), p.Model, p.Domains)
+	if err != nil {
+		panic(fmt.Sprintf("optimize: engine rejected a validated hardening query: %v", err))
+	}
+	return res
+}
+
+// UsesCentralDifferences reports whether the objective's gradient falls
+// back to central differences (two engine runs per coordinate) instead
+// of the analytic leave-one-out DP (one per coordinate): true exactly
+// when the fleet has a populated domain layout. The serving layer's work
+// estimates dispatch on this, so it is the single home of the condition.
+func (p HardeningProblem) UsesCentralDifferences() bool {
+	if len(p.Domains) == 0 {
+		return false
+	}
+	for _, n := range p.Fleet {
+		if n.Domain != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Objective returns the minimized smooth function f(x) = ln(1 -
+// SafeAndLive(x)). For independent fleets (no populated domains) the
+// gradient is analytic via the leave-one-out trinomial DP; with domains
+// it falls back to central differences, whose probes the response curves
+// clamp safely.
+func (p HardeningProblem) Objective() Objective {
+	value := func(x []float64) float64 { return logUnavail(p.Eval(x)) }
+	if p.UsesCentralDifferences() {
+		return FuncObjective{F: value}
+	}
+	return FuncObjective{F: value, G: p.analyticGrad}
+}
+
+// analyticGrad computes ∇f exactly for independent fleets. Writing node
+// i's fault mass as p_i with fixed crash share cf_i and Byzantine share
+// bf_i, the joint count distribution is linear in each p_i, so
+//
+//	∂(SafeAndLive)/∂p_i = Σ_{c,b} J_{-i}(c,b) ·
+//	    ( cf_i·ok(c+1,b) + bf_i·ok(c,b+1) - ok(c,b) )
+//
+// where J_{-i} is the exact joint DP over the other nodes and ok is the
+// safe-and-live indicator. The chain rule through the response curve and
+// the log wrapper finishes the job. Cost: one O(N^3) DP per coordinate.
+func (p HardeningProblem) analyticGrad(x, out []float64) {
+	n := len(p.Fleet)
+	ok := func(c, b int) float64 {
+		if c < 0 || b < 0 || c+b > n {
+			return 0
+		}
+		if p.Model.Safe(c, b) && p.Model.Live(c, b) {
+			return 1
+		}
+		return 0
+	}
+	hardened := p.fleetAt(x)
+	res, err := core.AnalyzeDomains(hardened, p.Model, p.Domains)
+	if err != nil {
+		panic(fmt.Sprintf("optimize: engine rejected a validated hardening query: %v", err))
+	}
+	u := math.Max(1-res.SafeAndLive, unavailFloor)
+	others := make([]faultcurve.Profile, 0, n-1)
+	for i := 0; i < n; i++ {
+		others = others[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				others = append(others, hardened[j].Profile)
+			}
+		}
+		joint := dist.NewJointCrashByz(faultcurve.TriStates(others))
+		bf := byzFraction(p.Fleet[i].Profile)
+		cf := 1 - bf
+		var dSL float64
+		for c := 0; c <= n-1; c++ {
+			for b := 0; b+c <= n-1; b++ {
+				m := joint.PMF(c, b)
+				if m == 0 {
+					continue
+				}
+				dSL += m * (cf*ok(c+1, b) + bf*ok(c, b+1) - ok(c, b))
+			}
+		}
+		// f = ln(U), U = 1 - SafeAndLive: df/dx_i = -dSL/dp · p'(x_i) / U.
+		out[i] = -dSL * p.Curves[i].DProb(x[i]) / u
+	}
+}
+
+// DomainHardeningProblem is the shock-hardening budget allocation: split
+// Budget across the failure domains, where domain d at spend x_d has its
+// common-cause shock probability reduced to Curves[d].Prob(x_d) — better
+// generator testing, staged rollouts, an extra cooling loop. Node
+// profiles are untouched; only the correlation structure is bought down.
+type DomainHardeningProblem struct {
+	Fleet   core.Fleet
+	Model   core.CountModel
+	Domains core.DomainSet
+	// Curves maps spend to shock probability per domain. len ==
+	// len(Domains).
+	Curves []faultcurve.Response
+	// Budget is the total spend to allocate.
+	Budget float64
+	// MaxPerDomain caps any one domain's spend; <= 0 means Budget.
+	MaxPerDomain float64
+}
+
+// Validate rejects malformed problems.
+func (p DomainHardeningProblem) Validate() error {
+	if len(p.Fleet) == 0 {
+		return fmt.Errorf("optimize: domain hardening needs a non-empty fleet")
+	}
+	if p.Model == nil || p.Model.N() != len(p.Fleet) {
+		return fmt.Errorf("optimize: domain hardening model/fleet size mismatch")
+	}
+	if err := p.Fleet.Validate(); err != nil {
+		return err
+	}
+	if len(p.Domains) == 0 {
+		return fmt.Errorf("optimize: domain hardening needs at least one domain")
+	}
+	if err := p.Domains.Validate(p.Fleet); err != nil {
+		return err
+	}
+	if len(p.Curves) != len(p.Domains) {
+		return fmt.Errorf("optimize: %d response curves for %d domains", len(p.Curves), len(p.Domains))
+	}
+	for i, c := range p.Curves {
+		if c == nil {
+			return fmt.Errorf("optimize: domain %d has no response curve", i)
+		}
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("optimize: domain %d: %w", i, err)
+		}
+	}
+	if math.IsNaN(p.Budget) || math.IsInf(p.Budget, 0) || p.Budget <= 0 {
+		return fmt.Errorf("optimize: budget must be finite and > 0, got %v", p.Budget)
+	}
+	return nil
+}
+
+func (p DomainHardeningProblem) cap() float64 {
+	if p.MaxPerDomain > 0 {
+		return math.Min(p.MaxPerDomain, p.Budget)
+	}
+	return p.Budget
+}
+
+// Polytope returns the feasible region: the budget knapsack over domains.
+func (p DomainHardeningProblem) Polytope() Knapsack {
+	d := len(p.Domains)
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	c := p.cap()
+	for i := range hi {
+		hi[i] = c
+	}
+	return Knapsack{Lo: lo, Hi: hi, Budget: p.Budget}
+}
+
+// domainsAt materializes the hardened domain layout at spend vector x.
+func (p DomainHardeningProblem) domainsAt(x []float64) core.DomainSet {
+	ds := make(core.DomainSet, len(p.Domains))
+	copy(ds, p.Domains)
+	for i := range ds {
+		ds[i].ShockProb = p.Curves[i].Prob(x[i])
+	}
+	return ds
+}
+
+// Eval runs the exact correlated engine at x.
+func (p DomainHardeningProblem) Eval(x []float64) core.Result {
+	res, err := core.AnalyzeDomains(p.Fleet, p.Model, p.domainsAt(x))
+	if err != nil {
+		panic(fmt.Sprintf("optimize: engine rejected a validated domain-hardening query: %v", err))
+	}
+	return res
+}
+
+// Objective returns f(x) = ln(1 - SafeAndLive(x)) with central-difference
+// gradients: the shock probability enters the mixture engine non-linearly
+// per domain, so the leave-one-out trick does not apply.
+func (p DomainHardeningProblem) Objective() Objective {
+	return FuncObjective{F: func(x []float64) float64 { return logUnavail(p.Eval(x)) }}
+}

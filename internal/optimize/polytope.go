@@ -1,0 +1,322 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Polytope is a compact convex feasible region accessed exclusively
+// through its linear-minimization oracle — the only geometric primitive a
+// conditional-gradient method needs. Implementations must return vertices
+// (extreme points): away-step Frank-Wolfe represents its iterate as a
+// convex combination of LMO outputs and relies on them being extremal.
+type Polytope interface {
+	// Dim returns the ambient dimension.
+	Dim() int
+	// LinearMinimize returns a fresh vertex v minimizing <grad, v> over
+	// the polytope. Ties may be broken arbitrarily but deterministically.
+	LinearMinimize(grad []float64) []float64
+	// Start returns a fresh feasible starting point.
+	Start() []float64
+	// Validate rejects empty or malformed regions.
+	Validate() error
+}
+
+// Simplex is the scaled probability simplex
+// { x ∈ R^n : x_i >= 0, Σ x_i = Scale } — the polytope of "split a fixed
+// total across n places". Its vertices are the scaled coordinate axes.
+type Simplex struct {
+	N     int
+	Scale float64
+}
+
+// Dim implements Polytope.
+func (s Simplex) Dim() int { return s.N }
+
+// Validate implements Polytope.
+func (s Simplex) Validate() error {
+	if s.N < 1 {
+		return fmt.Errorf("optimize: simplex needs dimension >= 1, got %d", s.N)
+	}
+	if math.IsNaN(s.Scale) || math.IsInf(s.Scale, 0) || s.Scale <= 0 {
+		return fmt.Errorf("optimize: simplex scale must be finite and > 0, got %v", s.Scale)
+	}
+	return nil
+}
+
+// LinearMinimize implements Polytope: all mass on the coordinate with the
+// smallest gradient entry.
+func (s Simplex) LinearMinimize(grad []float64) []float64 {
+	best := 0
+	for i := 1; i < s.N; i++ {
+		if grad[i] < grad[best] {
+			best = i
+		}
+	}
+	v := make([]float64, s.N)
+	v[best] = s.Scale
+	return v
+}
+
+// Start implements Polytope: the barycenter.
+func (s Simplex) Start() []float64 {
+	x := make([]float64, s.N)
+	for i := range x {
+		x[i] = s.Scale / float64(s.N)
+	}
+	return x
+}
+
+// Box is the axis-aligned box { x : Lo_i <= x_i <= Hi_i }, the polytope
+// of independent per-coordinate caps.
+type Box struct {
+	Lo, Hi []float64
+}
+
+// Dim implements Polytope.
+func (b Box) Dim() int { return len(b.Lo) }
+
+// Validate implements Polytope.
+func (b Box) Validate() error {
+	if len(b.Lo) == 0 || len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("optimize: box needs matching non-empty bounds, got %d/%d", len(b.Lo), len(b.Hi))
+	}
+	for i := range b.Lo {
+		if math.IsNaN(b.Lo[i]) || math.IsNaN(b.Hi[i]) || b.Lo[i] > b.Hi[i] {
+			return fmt.Errorf("optimize: box bound %d inverted or NaN: [%v, %v]", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// LinearMinimize implements Polytope: each coordinate independently picks
+// the bound its gradient entry points away from.
+func (b Box) LinearMinimize(grad []float64) []float64 {
+	v := make([]float64, len(b.Lo))
+	for i := range v {
+		if grad[i] >= 0 {
+			v[i] = b.Lo[i]
+		} else {
+			v[i] = b.Hi[i]
+		}
+	}
+	return v
+}
+
+// Start implements Polytope: the box center.
+func (b Box) Start() []float64 {
+	x := make([]float64, len(b.Lo))
+	for i := range x {
+		x[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return x
+}
+
+// Knapsack is the budget-knapsack polytope
+// { x : Lo_i <= x_i <= Hi_i, Σ c_i x_i <= Budget } — "spend at most
+// Budget, with per-coordinate caps". Costs must be strictly positive. Its
+// LMO is the classic fractional-knapsack greedy: coordinates whose
+// gradient is non-negative stay at their floor; the rest are raised to
+// their cap in order of gradient-per-cost until the budget runs out (the
+// last one possibly fractionally — still a vertex, where the budget
+// constraint is tight).
+type Knapsack struct {
+	Lo, Hi []float64
+	// Costs holds the per-unit budget cost of each coordinate. Nil means
+	// unit costs.
+	Costs  []float64
+	Budget float64
+}
+
+// Dim implements Polytope.
+func (k Knapsack) Dim() int { return len(k.Lo) }
+
+func (k Knapsack) cost(i int) float64 {
+	if k.Costs == nil {
+		return 1
+	}
+	return k.Costs[i]
+}
+
+// Validate implements Polytope.
+func (k Knapsack) Validate() error {
+	if err := (Box{Lo: k.Lo, Hi: k.Hi}).Validate(); err != nil {
+		return err
+	}
+	if k.Costs != nil && len(k.Costs) != len(k.Lo) {
+		return fmt.Errorf("optimize: knapsack has %d costs for %d coordinates", len(k.Costs), len(k.Lo))
+	}
+	if math.IsNaN(k.Budget) || math.IsInf(k.Budget, 0) {
+		return fmt.Errorf("optimize: knapsack budget must be finite, got %v", k.Budget)
+	}
+	floor := 0.0
+	for i := range k.Lo {
+		c := k.cost(i)
+		if math.IsNaN(c) || c <= 0 || math.IsInf(c, 0) {
+			return fmt.Errorf("optimize: knapsack cost %d must be finite and > 0, got %v", i, c)
+		}
+		floor += c * k.Lo[i]
+	}
+	if floor > k.Budget {
+		return fmt.Errorf("optimize: knapsack floor spend %v exceeds budget %v (empty polytope)", floor, k.Budget)
+	}
+	return nil
+}
+
+// LinearMinimize implements Polytope.
+func (k Knapsack) LinearMinimize(grad []float64) []float64 {
+	n := len(k.Lo)
+	v := make([]float64, n)
+	remaining := k.Budget
+	for i := range v {
+		v[i] = k.Lo[i]
+		remaining -= k.cost(i) * k.Lo[i]
+	}
+	// Raise negative-gradient coordinates in order of objective decrease
+	// per unit of budget, steepest first.
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if grad[i] < 0 && k.Hi[i] > k.Lo[i] {
+			order = append(order, i)
+		}
+	}
+	// Insertion sort by grad_i/cost_i ascending (most negative first):
+	// dimensions here are small, and this avoids pulling in sort for a
+	// hot oracle.
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0; b-- {
+			i, j := order[b], order[b-1]
+			if grad[i]/k.cost(i) < grad[j]/k.cost(j) {
+				order[b], order[b-1] = order[b-1], order[b]
+			} else {
+				break
+			}
+		}
+	}
+	for _, i := range order {
+		if remaining <= 0 {
+			break
+		}
+		c := k.cost(i)
+		room := k.Hi[i] - k.Lo[i]
+		take := math.Min(room, remaining/c)
+		v[i] += take
+		remaining -= take * c
+	}
+	return v
+}
+
+// Start implements Polytope: the floor point, always feasible.
+func (k Knapsack) Start() []float64 {
+	x := make([]float64, len(k.Lo))
+	copy(x, k.Lo)
+	return x
+}
+
+// BudgetedSimplex is the scaled simplex intersected with one budget
+// halfspace: { x : x_i >= 0, Σ x_i = Scale, Σ c_i x_i <= Budget } — "mix a
+// fixed total across tiers without overspending". Its vertices are the
+// affordable pure vertices plus the two-coordinate edge points where the
+// budget is tight, so the LMO enumerates O(n^2) candidates exactly.
+type BudgetedSimplex struct {
+	N      int
+	Scale  float64
+	Costs  []float64
+	Budget float64
+}
+
+// Dim implements Polytope.
+func (s BudgetedSimplex) Dim() int { return s.N }
+
+// Validate implements Polytope.
+func (s BudgetedSimplex) Validate() error {
+	if err := (Simplex{N: s.N, Scale: s.Scale}).Validate(); err != nil {
+		return err
+	}
+	if len(s.Costs) != s.N {
+		return fmt.Errorf("optimize: budgeted simplex has %d costs for %d coordinates", len(s.Costs), s.N)
+	}
+	cheapest := math.Inf(1)
+	for i, c := range s.Costs {
+		if math.IsNaN(c) || c < 0 || math.IsInf(c, 0) {
+			return fmt.Errorf("optimize: budgeted simplex cost %d must be finite and >= 0, got %v", i, c)
+		}
+		cheapest = math.Min(cheapest, c)
+	}
+	if math.IsNaN(s.Budget) || math.IsInf(s.Budget, 0) {
+		return fmt.Errorf("optimize: budgeted simplex budget must be finite, got %v", s.Budget)
+	}
+	if cheapest*s.Scale > s.Budget {
+		return fmt.Errorf("optimize: cheapest pure mix costs %v, budget %v (empty polytope)", cheapest*s.Scale, s.Budget)
+	}
+	return nil
+}
+
+// LinearMinimize implements Polytope.
+func (s BudgetedSimplex) LinearMinimize(grad []float64) []float64 {
+	bestVal := math.Inf(1)
+	var best []float64
+	consider := func(v []float64) {
+		val := 0.0
+		for i := range v {
+			val += grad[i] * v[i]
+		}
+		if val < bestVal {
+			bestVal = val
+			best = v
+		}
+	}
+	// Affordable pure vertices.
+	for i := 0; i < s.N; i++ {
+		if s.Costs[i]*s.Scale <= s.Budget {
+			v := make([]float64, s.N)
+			v[i] = s.Scale
+			consider(v)
+		}
+	}
+	// Budget-tight edge points between an over-budget coordinate i and a
+	// below-budget coordinate j: θ·Scale on i, (1-θ)·Scale on j with
+	// θ·c_i + (1-θ)·c_j = Budget/Scale.
+	beta := s.Budget / s.Scale
+	for i := 0; i < s.N; i++ {
+		if s.Costs[i] <= beta {
+			continue
+		}
+		for j := 0; j < s.N; j++ {
+			if s.Costs[j] >= beta {
+				continue
+			}
+			theta := (beta - s.Costs[j]) / (s.Costs[i] - s.Costs[j])
+			v := make([]float64, s.N)
+			v[i] = theta * s.Scale
+			v[j] = (1 - theta) * s.Scale
+			consider(v)
+		}
+	}
+	return best
+}
+
+// Start implements Polytope: the barycenter if affordable, else all mass
+// on the cheapest coordinate.
+func (s BudgetedSimplex) Start() []float64 {
+	x := make([]float64, s.N)
+	total := 0.0
+	for i := range x {
+		x[i] = s.Scale / float64(s.N)
+		total += s.Costs[i] * x[i]
+	}
+	if total <= s.Budget {
+		return x
+	}
+	cheapest := 0
+	for i := 1; i < s.N; i++ {
+		if s.Costs[i] < s.Costs[cheapest] {
+			cheapest = i
+		}
+	}
+	for i := range x {
+		x[i] = 0
+	}
+	x[cheapest] = s.Scale
+	return x
+}

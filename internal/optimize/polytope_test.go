@@ -1,0 +1,198 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func feasibleSimplex(t *testing.T, s Simplex, x []float64) {
+	t.Helper()
+	sum := 0.0
+	for _, v := range x {
+		if v < -1e-12 {
+			t.Fatalf("negative coordinate %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-s.Scale) > 1e-9 {
+		t.Fatalf("sum %v != scale %v", sum, s.Scale)
+	}
+}
+
+func TestSimplexLMO(t *testing.T) {
+	s := Simplex{N: 4, Scale: 2.5}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := s.LinearMinimize([]float64{3, -1, 0.5, -1 + 1e-9})
+	feasibleSimplex(t, s, v)
+	if v[1] != 2.5 {
+		t.Fatalf("LMO should put all mass on coordinate 1, got %v", v)
+	}
+	feasibleSimplex(t, s, s.Start())
+	if err := (Simplex{N: 0, Scale: 1}).Validate(); err == nil {
+		t.Fatal("want error for empty simplex")
+	}
+	if err := (Simplex{N: 2, Scale: 0}).Validate(); err == nil {
+		t.Fatal("want error for zero scale")
+	}
+}
+
+func TestBoxLMO(t *testing.T) {
+	b := Box{Lo: []float64{-1, 0, 2}, Hi: []float64{1, 3, 2}}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := b.LinearMinimize([]float64{1, -1, 5})
+	want := []float64{-1, 3, 2}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("box LMO = %v, want %v", v, want)
+		}
+	}
+	if err := (Box{Lo: []float64{1}, Hi: []float64{0}}).Validate(); err == nil {
+		t.Fatal("want error for inverted bounds")
+	}
+}
+
+func knapsackFeasible(t *testing.T, k Knapsack, x []float64) {
+	t.Helper()
+	spend := 0.0
+	for i := range x {
+		if x[i] < k.Lo[i]-1e-12 || x[i] > k.Hi[i]+1e-12 {
+			t.Fatalf("coordinate %d = %v outside [%v, %v]", i, x[i], k.Lo[i], k.Hi[i])
+		}
+		spend += k.cost(i) * x[i]
+	}
+	if spend > k.Budget+1e-9 {
+		t.Fatalf("spend %v exceeds budget %v", spend, k.Budget)
+	}
+}
+
+// TestKnapsackLMOOptimal checks the greedy oracle against random feasible
+// points: no feasible point may score below the LMO vertex.
+func TestKnapsackLMOOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(5)
+		k := Knapsack{
+			Lo:     make([]float64, n),
+			Hi:     make([]float64, n),
+			Costs:  make([]float64, n),
+			Budget: 1 + rng.Float64()*3,
+		}
+		for i := 0; i < n; i++ {
+			k.Lo[i] = rng.Float64() * 0.2
+			k.Hi[i] = k.Lo[i] + rng.Float64()*2
+			k.Costs[i] = 0.2 + rng.Float64()
+		}
+		if err := k.Validate(); err != nil {
+			// Floor spend above budget: regenerate by shrinking floors.
+			for i := range k.Lo {
+				k.Lo[i] = 0
+			}
+			if err := k.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := make([]float64, n)
+		for i := range g {
+			g[i] = rng.NormFloat64()
+		}
+		v := k.LinearMinimize(g)
+		knapsackFeasible(t, k, v)
+		best := dot(g, v)
+		for s := 0; s < 400; s++ {
+			u := make([]float64, n)
+			spend := 0.0
+			for i := range u {
+				u[i] = k.Lo[i] + rng.Float64()*(k.Hi[i]-k.Lo[i])
+				spend += k.Costs[i] * u[i]
+			}
+			if spend > k.Budget {
+				// Scale the above-floor part back into budget.
+				floor := 0.0
+				for i := range u {
+					floor += k.Costs[i] * k.Lo[i]
+				}
+				scale := (k.Budget - floor) / (spend - floor)
+				for i := range u {
+					u[i] = k.Lo[i] + scale*(u[i]-k.Lo[i])
+				}
+			}
+			knapsackFeasible(t, k, u)
+			if dot(g, u) < best-1e-9 {
+				t.Fatalf("trial %d: feasible point %v scores %v < LMO %v", trial, u, dot(g, u), best)
+			}
+		}
+	}
+}
+
+// TestKnapsackLMOUnconstrained pins the degenerate case: with a budget
+// covering every cap, the knapsack LMO must agree with the box LMO.
+func TestKnapsackLMOUnconstrained(t *testing.T) {
+	k := Knapsack{Lo: []float64{0, 0, 0}, Hi: []float64{1, 2, 3}, Budget: 100}
+	b := Box{Lo: k.Lo, Hi: k.Hi}
+	g := []float64{-1, 0.5, -2}
+	kv := k.LinearMinimize(g)
+	bv := b.LinearMinimize(g)
+	for i := range kv {
+		if kv[i] != bv[i] {
+			t.Fatalf("knapsack %v != box %v with slack budget", kv, bv)
+		}
+	}
+}
+
+func TestBudgetedSimplexLMO(t *testing.T) {
+	s := BudgetedSimplex{N: 3, Scale: 5, Costs: []float64{1.0, 0.25, 0.1}, Budget: 2.0}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		g := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		v := s.LinearMinimize(g)
+		// Feasibility.
+		sum, spend := 0.0, 0.0
+		for i := range v {
+			if v[i] < -1e-12 {
+				t.Fatalf("negative mass %v", v)
+			}
+			sum += v[i]
+			spend += s.Costs[i] * v[i]
+		}
+		if math.Abs(sum-s.Scale) > 1e-9 || spend > s.Budget+1e-9 {
+			t.Fatalf("infeasible LMO output %v (sum %v, spend %v)", v, sum, spend)
+		}
+		// Optimality against random feasible mixes.
+		best := dot(g, v)
+		for k := 0; k < 200; k++ {
+			w := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			tot := w[0] + w[1] + w[2]
+			for i := range w {
+				w[i] = w[i] / tot * s.Scale
+			}
+			c := 0.0
+			for i := range w {
+				c += s.Costs[i] * w[i]
+			}
+			if c > s.Budget {
+				continue
+			}
+			if dot(g, w) < best-1e-9 {
+				t.Fatalf("feasible mix %v scores %v < LMO %v", w, dot(g, w), best)
+			}
+		}
+	}
+	// Empty polytope.
+	if err := (BudgetedSimplex{N: 2, Scale: 1, Costs: []float64{5, 6}, Budget: 1}).Validate(); err == nil {
+		t.Fatal("want error when even the cheapest pure mix is unaffordable")
+	}
+	// Start must be feasible even when the barycenter is not.
+	tight := BudgetedSimplex{N: 2, Scale: 1, Costs: []float64{0.1, 10}, Budget: 0.5}
+	x := tight.Start()
+	if 0.1*x[0]+10*x[1] > 0.5+1e-12 {
+		t.Fatalf("start %v over budget", x)
+	}
+}

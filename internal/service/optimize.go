@@ -1,0 +1,321 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+	"repro/internal/inputcheck"
+	"repro/internal/optimize"
+)
+
+// This file is the serving surface of the projection-free optimizer
+// (internal/optimize): POST /v1/optimize resolves a hardening-budget
+// question — split a budget across nodes, or across failure-domain
+// shock-hardening, to maximize nines — validates it with the shared
+// inputcheck bounds, runs away-step Frank-Wolfe, and caches the full
+// response under the canonical problem fingerprint.
+
+// CurveSpec is the shared spend→probability response shape on the wire:
+// every node (or domain) gets faultcurve.HardeningResponse(base,
+// floor_frac, scale) — the reducible share of its base probability decays
+// with e-folding spend scale, down to floor_frac·base.
+type CurveSpec struct {
+	FloorFrac float64 `json:"floor_frac"`
+	Scale     float64 `json:"scale"`
+}
+
+// OptimizeRequest is the body of POST /v1/optimize. The fleet block is
+// the same as /v1/analyze (explicit fleet or uniform p, optional
+// domains). Target selects what the budget hardens: "nodes" (default)
+// buys down per-node fault probabilities; "domains" buys down the
+// domains' common-cause shock probabilities (requires a domains block).
+type OptimizeRequest struct {
+	Model   ModelSpec    `json:"model"`
+	Fleet   []NodeSpec   `json:"fleet,omitempty"`
+	P       *float64     `json:"p,omitempty"`
+	Domains []DomainSpec `json:"domains,omitempty"`
+
+	Budget float64 `json:"budget"`
+	// MaxSpend optionally caps any single node's (or domain's) spend.
+	MaxSpend float64   `json:"max_spend,omitempty"`
+	Curve    CurveSpec `json:"curve"`
+	Target   string    `json:"target,omitempty"`
+	// Iterations bounds the solver (default 500); Tolerance is the
+	// duality-gap stopping certificate (default 1e-9).
+	Iterations int     `json:"iterations,omitempty"`
+	Tolerance  float64 `json:"tolerance,omitempty"`
+}
+
+// MaxOptimizeWork bounds the estimated engine cost of one optimize
+// request, in DP cell updates: iterations × line-search gradient calls ×
+// per-gradient engine work. Sized like MaxAnalyzeWork/MaxSweepWork —
+// roughly a minute of single-core work.
+const MaxOptimizeWork = 2e10
+
+// gradCallsPerIteration is the worst-case gradient evaluations one
+// away-step iteration spends (the derivative-bisection exact line search
+// plus the iterate's own gradient).
+const gradCallsPerIteration = 70
+
+// AllocationLine is one row of the optimize response: where spend went
+// and what it did to that node's (or domain's) probability.
+type AllocationLine struct {
+	Name    string  `json:"name"`
+	Spend   float64 `json:"spend"`
+	PBefore float64 `json:"p_before"`
+	PAfter  float64 `json:"p_after"`
+}
+
+// ResultView renders one exact Result on the wire.
+type ResultView struct {
+	Safe        float64 `json:"safe"`
+	Live        float64 `json:"live"`
+	SafeAndLive float64 `json:"safe_and_live"`
+	Nines       float64 `json:"nines"`
+}
+
+func newResultView(r core.Result) ResultView {
+	return ResultView{Safe: r.Safe, Live: r.Live, SafeAndLive: r.SafeAndLive, Nines: jsonNines(r.SafeAndLive)}
+}
+
+// OptimizeResponse is the body of a POST /v1/optimize answer: the
+// allocation, the exact results it is judged by (no spend, even split,
+// optimized split), and the solver certificate.
+type OptimizeResponse struct {
+	Model      string           `json:"model"`
+	Target     string           `json:"target"`
+	Budget     float64          `json:"budget"`
+	Allocation []AllocationLine `json:"allocation"`
+	Base       ResultView       `json:"base"`
+	Uniform    ResultView       `json:"uniform"`
+	Optimized  ResultView       `json:"optimized"`
+	// Gap is the Frank-Wolfe duality-gap certificate at the returned
+	// allocation; Converged reports Gap <= tolerance.
+	Gap         float64 `json:"gap"`
+	Iterations  int     `json:"iterations"`
+	Converged   bool    `json:"converged"`
+	Fingerprint string  `json:"fingerprint"`
+	Cached      bool    `json:"cached"`
+}
+
+// optimizeTargets.
+const (
+	targetNodes   = "nodes"
+	targetDomains = "domains"
+)
+
+// solverOptions resolves the request's solver knobs.
+func (r OptimizeRequest) solverOptions() optimize.Options {
+	opts := optimize.Options{MaxIterations: r.Iterations, GapTolerance: r.Tolerance}
+	if opts.GapTolerance == 0 {
+		opts.GapTolerance = 1e-9
+	}
+	return opts
+}
+
+// validateCommon checks the optimizer-specific fields shared by both
+// targets; the fleet/model/domains block reuses the analyze validation.
+func (r OptimizeRequest) validateCommon() error {
+	if err := inputcheck.CheckBudget("budget", r.Budget); err != nil {
+		return err
+	}
+	if r.MaxSpend != 0 {
+		if err := inputcheck.CheckBudget("max_spend", r.MaxSpend); err != nil {
+			return err
+		}
+	}
+	iters := r.Iterations
+	if iters == 0 {
+		iters = 500 // the solver default; still bounded below
+	}
+	if err := inputcheck.CheckIterations(iters); err != nil {
+		return err
+	}
+	if err := inputcheck.CheckProb("curve.floor_frac", r.Curve.FloorFrac); err != nil {
+		return err
+	}
+	if err := inputcheck.CheckPositive("curve.scale", r.Curve.Scale); err != nil {
+		return err
+	}
+	if r.Tolerance != 0 {
+		if err := inputcheck.CheckPositive("tolerance", r.Tolerance); err != nil {
+			return err
+		}
+	}
+	switch r.Target {
+	case "", targetNodes, targetDomains:
+	default:
+		return fmt.Errorf("unknown target %q (want nodes or domains)", r.Target)
+	}
+	return nil
+}
+
+// Optimize resolves, validates, solves, and caches one optimize query.
+func (s *Server) Optimize(req OptimizeRequest) (OptimizeResponse, error) {
+	if err := req.validateCommon(); err != nil {
+		return OptimizeResponse{}, badRequest(err)
+	}
+	// Reuse the analyze resolution for fleet, model, and domains —
+	// including the per-query work bound on the underlying engine.
+	fleet, m, domains, err := AnalyzeRequest{
+		Model: req.Model, Fleet: req.Fleet, P: req.P, Domains: req.Domains,
+	}.Query()
+	if err != nil {
+		return OptimizeResponse{}, badRequest(err)
+	}
+	opts := req.solverOptions()
+	iters := opts.MaxIterations
+	if iters <= 0 {
+		iters = 500
+	}
+
+	target := req.Target
+	if target == "" {
+		target = targetNodes
+	}
+	// Each target contributes its problem-specific pieces; everything
+	// downstream — work bound, cache key, solve-and-render — is shared.
+	var (
+		names     []string
+		pBefore   []float64
+		curves    []faultcurve.Response
+		gradWork  float64 // engine cost of one gradient call
+		workHint  string
+		problemFP func(optimize.Options) (string, error)
+		solveRaw  func() (optimize.Allocation, error)
+	)
+	engineWork := core.DomainsWorkEstimate(fleet, domains)
+	switch target {
+	case targetNodes:
+		curves = make([]faultcurve.Response, len(fleet))
+		for i, n := range fleet {
+			curves[i] = faultcurve.HardeningResponse(n.Profile.PFail(), req.Curve.FloorFrac, req.Curve.Scale)
+			names = append(names, n.Name)
+			pBefore = append(pBefore, n.Profile.PFail())
+		}
+		p := optimize.HardeningProblem{
+			Fleet: fleet, Model: m, Domains: domains,
+			Curves: curves, Budget: req.Budget, MaxPerNode: req.MaxSpend,
+		}
+		if err := p.Validate(); err != nil {
+			return OptimizeResponse{}, badRequest(err)
+		}
+		// The analytic leave-one-out gradient is one O(N^3) DP per node;
+		// with populated domains the objective falls back to central
+		// differences, which is two engine runs per node instead.
+		gradWork = float64(len(fleet)) * engineWork
+		if p.UsesCentralDifferences() {
+			gradWork *= 2
+		}
+		workHint = "fewer iterations or a smaller fleet"
+		problemFP = p.Fingerprint
+		solveRaw = func() (optimize.Allocation, error) { return optimize.SolveHardening(p, opts) }
+	case targetDomains:
+		if len(domains) == 0 {
+			return OptimizeResponse{}, badRequest(fmt.Errorf("target domains requires a domains block"))
+		}
+		curves = make([]faultcurve.Response, len(domains))
+		for i, d := range domains {
+			curves[i] = faultcurve.HardeningResponse(d.ShockProb, req.Curve.FloorFrac, req.Curve.Scale)
+			names = append(names, d.Name)
+			pBefore = append(pBefore, d.ShockProb)
+		}
+		p := optimize.DomainHardeningProblem{
+			Fleet: fleet, Model: m, Domains: domains,
+			Curves: curves, Budget: req.Budget, MaxPerDomain: req.MaxSpend,
+		}
+		if err := p.Validate(); err != nil {
+			return OptimizeResponse{}, badRequest(err)
+		}
+		gradWork = 2 * float64(len(domains)) * engineWork // central differences
+		workHint = "fewer iterations or fewer domains"
+		problemFP = p.Fingerprint
+		solveRaw = func() (optimize.Allocation, error) { return optimize.SolveDomainHardening(p, opts) }
+	}
+	dims := len(names)
+	if work := float64(iters) * gradCallsPerIteration * gradWork; work > MaxOptimizeWork {
+		return OptimizeResponse{}, badRequest(fmt.Errorf(
+			"optimize needs ~%.2g engine operations, maximum is %.2g (%s)",
+			work, float64(MaxOptimizeWork), workHint))
+	}
+	fingerprint, err := problemFP(opts)
+	if err != nil {
+		return OptimizeResponse{}, badRequest(err)
+	}
+	solve := func() (optimize.Allocation, []float64, error) {
+		a, err := solveRaw()
+		if err != nil {
+			return optimize.Allocation{}, nil, err
+		}
+		after := make([]float64, dims)
+		for i := range after {
+			after[i] = curves[i].Prob(a.Spend[i])
+		}
+		return a, after, nil
+	}
+
+	resp, cached, err := s.ocache.Do(fingerprint, func() (OptimizeResponse, error) {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		a, pAfter, err := solve()
+		if err != nil {
+			return OptimizeResponse{}, err
+		}
+		lines := make([]AllocationLine, dims)
+		for i := range lines {
+			lines[i] = AllocationLine{
+				Name:    names[i],
+				Spend:   a.Spend[i],
+				PBefore: pBefore[i],
+				PAfter:  pAfter[i],
+			}
+		}
+		return OptimizeResponse{
+			Model:       m.Name(),
+			Target:      target,
+			Budget:      req.Budget,
+			Allocation:  lines,
+			Base:        newResultView(a.Base),
+			Uniform:     newResultView(a.Uniform),
+			Optimized:   newResultView(a.Optimized),
+			Gap:         a.Gap,
+			Iterations:  a.Iterations,
+			Converged:   a.Converged,
+			Fingerprint: fingerprint,
+		}, nil
+	})
+	if err != nil {
+		return OptimizeResponse{}, fmt.Errorf("optimization failed: %w", err)
+	}
+	// Detach the one slice the response shares with the cache entry (a
+	// library caller mutating its response must not corrupt later hits),
+	// and render THIS request's labels onto it: the cache key is the
+	// name-invariant problem fingerprint, so a hit may carry another
+	// requester's names — everything numeric is identical by construction.
+	resp.Allocation = append([]AllocationLine(nil), resp.Allocation...)
+	for i := range resp.Allocation {
+		resp.Allocation[i].Name = names[i]
+	}
+	resp.Cached = cached
+	return resp, nil
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	s.reqOptimize.Add(1)
+	var req OptimizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Optimize(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

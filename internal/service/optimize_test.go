@@ -1,0 +1,202 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+const optimizeBody = `{
+	"model": {"protocol": "raft", "n": 5},
+	"fleet": [
+		{"name": "a", "p_crash": 0.08},
+		{"name": "b", "p_crash": 0.05},
+		{"name": "c", "p_crash": 0.03},
+		{"name": "d", "p_crash": 0.02},
+		{"name": "e", "p_crash": 0.01}
+	],
+	"budget": 1.0,
+	"curve": {"floor_frac": 0.1, "scale": 0.25}
+}`
+
+// TestOptimizeEndpoint runs the hardening exemplar through the HTTP
+// surface: the allocation must be certified, beat the uniform split, and
+// repeat queries must come from the fingerprint cache.
+func TestOptimizeEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/optimize", optimizeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged || out.Gap >= 1e-8 {
+		t.Errorf("no certificate: gap %v converged %v", out.Gap, out.Converged)
+	}
+	if out.Target != "nodes" || len(out.Allocation) != 5 {
+		t.Fatalf("allocation %+v", out)
+	}
+	if out.Optimized.Nines <= out.Uniform.Nines {
+		t.Errorf("optimized %v nines must beat uniform %v", out.Optimized.Nines, out.Uniform.Nines)
+	}
+	if out.Optimized.Nines <= out.Base.Nines {
+		t.Errorf("optimized %v nines must beat base %v", out.Optimized.Nines, out.Base.Nines)
+	}
+	// The weakest node should get the most spend, and spend must respect
+	// the budget.
+	spent := 0.0
+	for _, l := range out.Allocation {
+		spent += l.Spend
+		if l.PAfter > l.PBefore+1e-12 {
+			t.Errorf("node %s got worse: %v -> %v", l.Name, l.PBefore, l.PAfter)
+		}
+	}
+	if spent > 1.0+1e-9 {
+		t.Errorf("overspent: %v", spent)
+	}
+	if out.Allocation[0].Spend < out.Allocation[4].Spend {
+		t.Errorf("weakest node %v should outspend strongest %v", out.Allocation[0].Spend, out.Allocation[4].Spend)
+	}
+	if out.Cached {
+		t.Error("first query must not be cached")
+	}
+
+	// Second identical query: cache hit with the same fingerprint.
+	resp2, body2 := postJSON(t, ts.URL+"/v1/optimize", optimizeBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, body2)
+	}
+	var out2 OptimizeResponse
+	if err := json.Unmarshal(body2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if !out2.Cached || out2.Fingerprint != out.Fingerprint {
+		t.Errorf("repeat query: cached %v fingerprint match %v", out2.Cached, out2.Fingerprint == out.Fingerprint)
+	}
+
+	// Counters: two optimize requests, one cache hit.
+	st := srv.Stats()
+	if st.Requests.Optimize != 2 {
+		t.Errorf("optimize request counter = %d, want 2", st.Requests.Optimize)
+	}
+	if st.OptimizeCache.Hits != 1 || st.OptimizeCache.Misses != 1 {
+		t.Errorf("optimize cache stats %+v, want 1 hit / 1 miss", st.OptimizeCache)
+	}
+}
+
+// TestOptimizeCacheNameHandling pins the label handling around the
+// name-invariant cache key: a request differing only in node names HITS
+// the cache (the allocation is name-invariant, so re-solving would waste
+// a full certified solve) but must still carry its own labels, never
+// another requester's.
+func TestOptimizeCacheNameHandling(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, b := postJSON(t, ts.URL+"/v1/optimize", optimizeBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var first OptimizeResponse
+	if err := json.Unmarshal(b, &first); err != nil {
+		t.Fatal(err)
+	}
+	renamed := strings.Replace(optimizeBody, `"name": "a"`, `"name": "primary"`, 1)
+	resp2, b2 := postJSON(t, ts.URL+"/v1/optimize", renamed)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, b2)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(b2, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("label-only change must reuse the cached solve")
+	}
+	if out.Allocation[0].Name != "primary" || out.Allocation[1].Name != "b" {
+		t.Fatalf("allocation carries the wrong names: %+v", out.Allocation[:2])
+	}
+	if out.Allocation[0].Spend != first.Allocation[0].Spend || out.Gap != first.Gap {
+		t.Fatal("cached numbers must be identical for a label-only change")
+	}
+	// And the original body still renders its own labels on a later hit.
+	_, b3 := postJSON(t, ts.URL+"/v1/optimize", optimizeBody)
+	var again OptimizeResponse
+	if err := json.Unmarshal(b3, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Allocation[0].Name != "a" {
+		t.Fatalf("cache hit leaked another requester's label: %q", again.Allocation[0].Name)
+	}
+}
+
+// TestOptimizeDomainsTarget buys down zone shocks through the endpoint.
+func TestOptimizeDomainsTarget(t *testing.T) {
+	_, ts := newTestServer(t)
+	body := `{
+		"model": {"protocol": "raft", "n": 9},
+		"p": 0.004,
+		"domains": [
+			{"name": "zone-a", "shock": 0.003, "crash_mult": 300},
+			{"name": "zone-b", "shock": 0.001, "crash_mult": 300},
+			{"name": "zone-c", "shock": 0.0003, "crash_mult": 300}
+		],
+		"budget": 1.0,
+		"curve": {"floor_frac": 0.05, "scale": 0.3},
+		"target": "domains",
+		"tolerance": 1e-7,
+		"iterations": 300
+	}`
+	resp, b := postJSON(t, ts.URL+"/v1/optimize", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var out OptimizeResponse
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Target != "domains" || len(out.Allocation) != 3 {
+		t.Fatalf("allocation %+v", out.Allocation)
+	}
+	if out.Optimized.Nines <= out.Base.Nines {
+		t.Errorf("shock hardening must help: base %v optimized %v", out.Base.Nines, out.Optimized.Nines)
+	}
+	if out.Allocation[0].Name != "zone-a" || out.Allocation[0].Spend < out.Allocation[2].Spend {
+		t.Errorf("worst zone should attract the most spend: %+v", out.Allocation)
+	}
+}
+
+// TestOptimizeValidation covers the 400 paths, which must all use the
+// shared inputcheck bounds.
+func TestOptimizeValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := map[string]string{
+		"zero budget":           `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":0,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"huge budget":           `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1e12,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"bad iterations":        `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"iterations":-1,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"too many iterations":   `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"iterations":1000000,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"bad floor":             `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":1.5,"scale":0.3}}`,
+		"bad scale":             `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":0.1,"scale":0}}`,
+		"bad target":            `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":0.1,"scale":0.3},"target":"tiers"}`,
+		"domains without block": `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":0.1,"scale":0.3},"target":"domains"}`,
+		"no fleet":              `{"model":{"protocol":"raft","n":3},"budget":1,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"work bound":            `{"model":{"protocol":"raft","n":901},"p":0.01,"budget":1,"iterations":100000,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		"unknown field":         `{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":0.1,"scale":0.3},"bogus":1}`,
+	}
+	for name, body := range cases {
+		resp, b := postJSON(t, ts.URL+"/v1/optimize", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%s), want 400", name, resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+	}
+	// Method check.
+	resp, err := http.Get(ts.URL + "/v1/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+}

@@ -19,6 +19,10 @@ import (
 type Options struct {
 	// CacheCapacity is the total number of memoized Results (default 4096).
 	CacheCapacity int
+	// OptimizeCacheCapacity is the number of memoized optimize responses
+	// (default 1024; each entry represents far more compute than an
+	// analyze Result, so the cache can stay small).
+	OptimizeCacheCapacity int
 	// CacheShards is the cache shard count (default 16).
 	CacheShards int
 	// Workers bounds concurrent engine computations — analyze misses and
@@ -42,6 +46,7 @@ type Options struct {
 // concurrent identical misses into one engine call.
 type Server struct {
 	cache   *qcache.Cache[AnalyzeResponse]
+	ocache  *qcache.Cache[OptimizeResponse]
 	memo    atomic.Pointer[memoEntry]
 	analyze func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 	workers int
@@ -52,6 +57,7 @@ type Server struct {
 	reqAnalyze  atomic.Int64
 	reqSweep    atomic.Int64
 	reqTables   atomic.Int64
+	reqOptimize atomic.Int64
 	sweepCells  atomic.Int64
 	activeCells atomic.Int64
 }
@@ -113,6 +119,9 @@ func New(opts Options) *Server {
 	if opts.CacheCapacity <= 0 {
 		opts.CacheCapacity = 4096
 	}
+	if opts.OptimizeCacheCapacity <= 0 {
+		opts.OptimizeCacheCapacity = 1024
+	}
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
 	}
@@ -124,6 +133,7 @@ func New(opts Options) *Server {
 	}
 	return &Server{
 		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
+		ocache:  qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
 		analyze: opts.AnalyzeFunc,
 		workers: opts.Workers,
 		sem:     make(chan struct{}, opts.Workers),
@@ -367,9 +377,10 @@ type PoolStats struct {
 
 // RequestStats counts requests served per endpoint.
 type RequestStats struct {
-	Analyze int64 `json:"analyze"`
-	Sweep   int64 `json:"sweep"`
-	Tables  int64 `json:"tables"`
+	Analyze  int64 `json:"analyze"`
+	Sweep    int64 `json:"sweep"`
+	Tables   int64 `json:"tables"`
+	Optimize int64 `json:"optimize"`
 }
 
 // MemoStats counts L0 most-recent-query memo hits.
@@ -379,7 +390,11 @@ type MemoStats struct {
 
 // StatsResponse is the body of GET /statsz.
 type StatsResponse struct {
-	Cache         qcache.Stats `json:"cache"`
+	Cache qcache.Stats `json:"cache"`
+	// OptimizeCache counts the /v1/optimize response cache, which is
+	// keyed by the canonical problem fingerprint and separate from the
+	// analyze Result cache.
+	OptimizeCache qcache.Stats `json:"optimize_cache"`
 	Memo          MemoStats    `json:"memo"`
 	Pool          PoolStats    `json:"pool"`
 	Requests      RequestStats `json:"requests"`
@@ -389,17 +404,19 @@ type StatsResponse struct {
 // Stats snapshots all service counters.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
-		Cache: s.cache.Stats(),
-		Memo:  MemoStats{Hits: s.memoHits.Load()},
+		Cache:         s.cache.Stats(),
+		OptimizeCache: s.ocache.Stats(),
+		Memo:          MemoStats{Hits: s.memoHits.Load()},
 		Pool: PoolStats{
 			Workers:     s.workers,
 			ActiveCells: s.activeCells.Load(),
 			CellsDone:   s.sweepCells.Load(),
 		},
 		Requests: RequestStats{
-			Analyze: s.reqAnalyze.Load(),
-			Sweep:   s.reqSweep.Load(),
-			Tables:  s.reqTables.Load(),
+			Analyze:  s.reqAnalyze.Load(),
+			Sweep:    s.reqSweep.Load(),
+			Tables:   s.reqTables.Load(),
+			Optimize: s.reqOptimize.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 	}
@@ -410,6 +427,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	mux.HandleFunc("/v1/tables", s.handleTables)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/statsz", s.handleStatsz)

@@ -2,6 +2,7 @@ package probcons
 
 import (
 	"repro/internal/core"
+	"repro/internal/optimize"
 	"repro/internal/qcache"
 )
 
@@ -15,6 +16,10 @@ type CacheStats = qcache.Stats
 // go stale. Safe for concurrent use.
 type CachedAnalyzer struct {
 	cache *qcache.Cache[core.Result]
+	// alloc memoizes budget-allocation solves, keyed by the canonical
+	// optimize-problem fingerprint. A solve is hundreds of engine runs,
+	// so even a small cache pays for itself.
+	alloc *qcache.Cache[optimize.Allocation]
 }
 
 // NewCachedAnalyzer builds an analyzer memoizing up to capacity distinct
@@ -23,7 +28,10 @@ func NewCachedAnalyzer(capacity int) *CachedAnalyzer {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &CachedAnalyzer{cache: qcache.New[core.Result](capacity, 16)}
+	return &CachedAnalyzer{
+		cache: qcache.New[core.Result](capacity, 16),
+		alloc: qcache.New[optimize.Allocation](capacity, 16),
+	}
 }
 
 // Analyze is a drop-in replacement for probcons.Analyze that caches by the
@@ -65,5 +73,47 @@ func (a *CachedAnalyzer) PBFTReliability(m PBFT, p float64) (Result, error) {
 	return a.Analyze(core.UniformByzFleet(m.NNodes, p), m)
 }
 
-// Stats snapshots the cache counters.
+// Optimize is the cached counterpart of probcons.Optimize, keyed by the
+// canonical problem fingerprint (fleet, model, domains, curves, budget,
+// solver options). The solver is deterministic, so identical fingerprints
+// have identical allocations. Only faultcurve.ExpResponse curves are
+// fingerprintable; other curve types return an error rather than risking
+// cache collisions.
+func (a *CachedAnalyzer) Optimize(p HardeningProblem, opts OptimizeOptions) (HardeningAllocation, error) {
+	fp, err := p.Fingerprint(opts)
+	if err != nil {
+		return HardeningAllocation{}, err
+	}
+	res, _, err := a.alloc.Do(fp, func() (optimize.Allocation, error) {
+		return optimize.SolveHardening(p, opts)
+	})
+	return cloneAllocation(res), err
+}
+
+// OptimizeDomains is the cached counterpart of probcons.OptimizeDomains.
+func (a *CachedAnalyzer) OptimizeDomains(p DomainHardeningProblem, opts OptimizeOptions) (HardeningAllocation, error) {
+	fp, err := p.Fingerprint(opts)
+	if err != nil {
+		return HardeningAllocation{}, err
+	}
+	res, _, err := a.alloc.Do(fp, func() (optimize.Allocation, error) {
+		return optimize.SolveDomainHardening(p, opts)
+	})
+	return cloneAllocation(res), err
+}
+
+// cloneAllocation deep-copies the slice fields an Allocation shares with
+// the cache entry, so a caller mutating its result (rounding spends for
+// display, say) cannot poison later cache hits.
+func cloneAllocation(a HardeningAllocation) HardeningAllocation {
+	a.Spend = append([]float64(nil), a.Spend...)
+	a.X = append([]float64(nil), a.X...)
+	a.Gaps = append([]float64(nil), a.Gaps...)
+	return a
+}
+
+// Stats snapshots the analysis cache counters.
 func (a *CachedAnalyzer) Stats() CacheStats { return a.cache.Stats() }
+
+// OptimizeStats snapshots the allocation cache counters.
+func (a *CachedAnalyzer) OptimizeStats() CacheStats { return a.alloc.Stats() }

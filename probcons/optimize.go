@@ -1,0 +1,46 @@
+package probcons
+
+import (
+	"repro/internal/faultcurve"
+	"repro/internal/optimize"
+)
+
+// This file is the facade over internal/optimize: projection-free
+// (Frank-Wolfe) reliability-budget allocation on top of the exact
+// engines. See examples/hardening for a walkthrough.
+
+// HardeningProblem asks how to split a hardening budget across a fleet's
+// nodes to maximize safe-and-live nines.
+type HardeningProblem = optimize.HardeningProblem
+
+// DomainHardeningProblem asks how to split a budget across failure
+// domains' shock-hardening instead.
+type DomainHardeningProblem = optimize.DomainHardeningProblem
+
+// HardeningAllocation is a solved allocation with its exact before/after
+// Results and the Frank-Wolfe duality-gap certificate.
+type HardeningAllocation = optimize.Allocation
+
+// OptimizeOptions tunes the solver; the zero value selects away-step
+// Frank-Wolfe defaults (500 iterations, 1e-8 gap tolerance, exact line
+// search).
+type OptimizeOptions = optimize.Options
+
+// HardeningCurve builds the standard diminishing-returns spend→probability
+// response: the reducible share of base decays with e-folding scale, down
+// to floorFrac·base.
+func HardeningCurve(base, floorFrac, scale float64) faultcurve.ExpResponse {
+	return faultcurve.HardeningResponse(base, floorFrac, scale)
+}
+
+// Optimize allocates a node-hardening budget by away-step Frank-Wolfe and
+// returns the certified allocation.
+func Optimize(p HardeningProblem, opts OptimizeOptions) (HardeningAllocation, error) {
+	return optimize.SolveHardening(p, opts)
+}
+
+// OptimizeDomains allocates a shock-hardening budget across failure
+// domains the same way.
+func OptimizeDomains(p DomainHardeningProblem, opts OptimizeOptions) (HardeningAllocation, error) {
+	return optimize.SolveDomainHardening(p, opts)
+}

@@ -1,0 +1,74 @@
+package probcons
+
+import (
+	"testing"
+
+	"repro/internal/faultcurve"
+)
+
+func hardeningExemplar() HardeningProblem {
+	bases := []float64{0.08, 0.05, 0.03, 0.02, 0.01}
+	fleet := make(Fleet, len(bases))
+	curves := make([]faultcurve.Response, len(bases))
+	for i, b := range bases {
+		fleet[i] = Node{Name: "node", Profile: faultcurve.Crash(b)}
+		curves[i] = HardeningCurve(b, 0.1, 0.25)
+	}
+	return HardeningProblem{Fleet: fleet, Model: NewRaft(len(bases)), Curves: curves, Budget: 1.0}
+}
+
+// TestOptimizeFacade runs the hardening exemplar through the public
+// facade and checks the certificate survives the plumbing.
+func TestOptimizeFacade(t *testing.T) {
+	a, err := Optimize(hardeningExemplar(), OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Converged {
+		t.Fatalf("no certificate: gap %v", a.Gap)
+	}
+	if a.NinesGainedOverUniform() <= 0 {
+		t.Errorf("optimized split must beat uniform: gained %v nines", a.NinesGainedOverUniform())
+	}
+}
+
+// TestCachedOptimize checks the fingerprint-keyed memoization: the second
+// identical solve must be a cache hit with a bit-identical allocation.
+func TestCachedOptimize(t *testing.T) {
+	ca := NewCachedAnalyzer(64)
+	a1, err := ca.Optimize(hardeningExemplar(), OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := ca.Optimize(hardeningExemplar(), OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ca.OptimizeStats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("optimize cache stats %+v, want exactly 1 miss + 1 hit", st)
+	}
+	for i := range a1.Spend {
+		if a1.Spend[i] != a2.Spend[i] {
+			t.Fatalf("cached allocation differs: %v vs %v", a1.Spend, a2.Spend)
+		}
+	}
+	// Mutating a returned allocation must not poison later cache hits.
+	a2.Spend[0] = -1
+	a3, err := ca.Optimize(hardeningExemplar(), OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.Spend[0] != a1.Spend[0] {
+		t.Fatalf("cache entry was mutated through a returned allocation: %v", a3.Spend)
+	}
+	// A different budget is a different fingerprint.
+	p := hardeningExemplar()
+	p.Budget = 2
+	if _, err := ca.Optimize(p, OptimizeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := ca.OptimizeStats(); st.Misses != 2 {
+		t.Errorf("budget change should miss: %+v", st)
+	}
+}
