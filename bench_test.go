@@ -860,3 +860,137 @@ func BenchmarkSweepParallel(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEvaluatorAnalyze contrasts the throwaway engine with a reused
+// evaluator on the N=25 serving fleet: same exact answer, but the warm
+// workspace path runs with zero allocations per analysis.
+func BenchmarkEvaluatorAnalyze(b *testing.B) {
+	fleet := serviceBenchFleet(0)
+	m := core.CountModel(core.NewRaft(len(fleet)))
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Analyze(fleet, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reused", func(b *testing.B) {
+		ev := core.NewEvaluator()
+		if _, err := ev.Analyze(fleet, m); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := ev.Analyze(fleet, m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEvaluatorUniformNSweep measures the uniform-fleet N-sweep two
+// ways: a from-scratch DP per size versus one prefix-extended DP. The
+// sizes are the odd clusters from 3 to 25 at p = 2%.
+func BenchmarkEvaluatorUniformNSweep(b *testing.B) {
+	var ns []int
+	for n := 3; n <= 25; n += 2 {
+		ns = append(ns, n)
+	}
+	modelFor := func(n int) core.CountModel { return core.NewRaft(n) }
+	b.Run("perSize", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, n := range ns {
+				if _, err := core.Analyze(core.UniformCrashFleet(n, 0.02), core.NewRaft(n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("prefixExtended", func(b *testing.B) {
+		ev := core.NewEvaluator()
+		dst := make([]core.Result, 0, len(ns))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			dst, err = ev.AnalyzeUniformNsInto(dst[:0], faultcurve.Crash(0.02), ns, modelFor)
+			if err != nil || len(dst) != len(ns) {
+				b.Fatal("sweep broke")
+			}
+		}
+	})
+}
+
+// quorumSweepFleet is the N=9 heterogeneous fleet the quorum-sweep
+// benchmarks share.
+func quorumSweepFleet() core.Fleet {
+	fleet := core.UniformCrashFleet(9, 0.05)
+	for i := range fleet {
+		fleet[i].Profile.PCrash = 0.02 + 0.01*float64(i)
+		fleet[i].Profile.PByz = 0.0005 * float64(i%3)
+	}
+	return fleet
+}
+
+// BenchmarkQuorumSweepRaft measures the full 81-point (QPer, QVC) sweep
+// of an N=9 heterogeneous fleet: the one-pass engine builds the joint DP
+// once and answers every pair from cached tail sums; the per-pair
+// baseline is the old shape, one O(N^3) engine run per sizing.
+func BenchmarkQuorumSweepRaft(b *testing.B) {
+	fleet := quorumSweepFleet()
+	b.Run("onepass", func(b *testing.B) {
+		ev := core.NewEvaluator()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := ev.SweepRaftQuorums(fleet, false)
+			if err != nil || len(out) != 81 {
+				b.Fatal("sweep broke")
+			}
+		}
+	})
+	b.Run("perpair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for qper := 1; qper <= 9; qper++ {
+				for qvc := 1; qvc <= 9; qvc++ {
+					m := core.Raft{NNodes: 9, QPer: qper, QVC: qvc}
+					if _, err := core.Analyze(fleet, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkQuorumSweepPBFT measures the symmetric PBFT (q, qt) sweep the
+// same two ways.
+func BenchmarkQuorumSweepPBFT(b *testing.B) {
+	fleet := quorumSweepFleet()
+	b.Run("onepass", func(b *testing.B) {
+		ev := core.NewEvaluator()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := ev.SweepPBFTQuorums(fleet)
+			if err != nil || len(out) != 45 {
+				b.Fatal("sweep broke")
+			}
+		}
+	})
+	b.Run("perpair", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for q := 1; q <= 9; q++ {
+				for qt := 1; qt <= q; qt++ {
+					m := core.PBFT{NNodes: 9, QEq: q, QPer: q, QVC: q, QVCT: qt}
+					if _, err := core.Analyze(fleet, m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	})
+}

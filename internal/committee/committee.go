@@ -48,14 +48,35 @@ func FailureTail(committee quorum.Set, fleet core.Fleet, t int) float64 {
 // reliable nodes such that P[#failures >= budget+1] <= eps, or an error if
 // even the full fleet cannot achieve it. It realises §4's "sample
 // committees ... to select only the reliable nodes".
+//
+// The search is incremental: candidate committees are nested prefixes of
+// the reliability-sorted fleet, so one Poisson-binomial DP is prefix-
+// extended a node at a time — O(k) per candidate size instead of an
+// O(k^2) rebuild, O(N^2) total for the whole search.
 func MinSizeForBudget(fleet core.Fleet, budget int, eps float64) (quorum.Set, error) {
-	for k := budget + 1; k <= len(fleet); k++ {
-		c, err := Best(fleet, k)
-		if err != nil {
-			return quorum.Set{}, err
-		}
-		if FailureTail(c, fleet, budget+1) <= eps {
-			return c, nil
+	if budget < 0 {
+		return quorum.Set{}, fmt.Errorf("committee: budget must be >= 0, got %d", budget)
+	}
+	n := len(fleet)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	probs := fleet.FailProbs()
+	sort.SliceStable(idx, func(a, b int) bool { return probs[idx[a]] < probs[idx[b]] })
+	var pb dist.PoissonBinomial
+	pb.Reset(nil)
+	for k := 0; k < budget && k < n; k++ {
+		pb.ExtendWith(probs[idx[k]])
+	}
+	for k := budget + 1; k <= n; k++ {
+		pb.ExtendWith(probs[idx[k-1]])
+		if pb.TailGE(budget+1) <= eps {
+			set := quorum.NewSet(n)
+			for _, i := range idx[:k] {
+				set.Add(i)
+			}
+			return set, nil
 		}
 	}
 	return quorum.Set{}, fmt.Errorf("committee: no committee of <= %d nodes keeps P[>%d failures] <= %g",

@@ -192,3 +192,10 @@ func TestSampleVRFRoughlyUniform(t *testing.T) {
 		}
 	}
 }
+
+func TestMinSizeForBudgetNegativeBudget(t *testing.T) {
+	fleet := core.UniformCrashFleet(5, 0.05)
+	if _, err := MinSizeForBudget(fleet, -1, 1e-4); err == nil {
+		t.Error("negative budget accepted")
+	}
+}

@@ -31,21 +31,12 @@ func (r Result) String() string {
 
 // Analyze computes the exact Result for a fleet under a count-based
 // protocol model using the joint (#crashed, #Byzantine) distribution.
-// Cost is O(N^3); exact for heterogeneous fleets of any composition.
+// Cost is O(N^3); exact for heterogeneous fleets of any composition. It
+// runs on a throwaway Evaluator; callers on a hot path should hold a
+// long-lived Evaluator (or EvaluatorPool) and reuse its workspaces.
 func Analyze(fleet Fleet, m CountModel) (Result, error) {
-	if len(fleet) != m.N() {
-		return Result{}, fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
-	}
-	if err := fleet.Validate(); err != nil {
-		return Result{}, err
-	}
-	joint := dist.NewJointCrashByz(faultcurve.TriStates(fleet.Profiles()))
-	res := Result{
-		Safe:        joint.SumWhere(m.Safe),
-		Live:        joint.SumWhere(m.Live),
-		SafeAndLive: joint.SumWhere(func(c, b int) bool { return m.Safe(c, b) && m.Live(c, b) }),
-	}
-	return res, nil
+	var e Evaluator
+	return e.Analyze(fleet, m)
 }
 
 // MustAnalyze is Analyze for statically correct inputs (tables, benches);

@@ -37,6 +37,17 @@ type DomainSet []faultcurve.Domain
 // Validate checks the domain definitions and that every node's membership
 // resolves. It is the single gate all domain engines go through.
 func (ds DomainSet) Validate(fleet Fleet) error {
+	if len(ds) == 0 {
+		// Allocation-free fast path for the common domain-free query: the
+		// only possible failure is a node referencing a domain that cannot
+		// exist.
+		for i, n := range fleet {
+			if n.Domain != "" {
+				return fmt.Errorf("core: node %d (%s) references undefined domain %q", i, n.Name, n.Domain)
+			}
+		}
+		return nil
+	}
 	seen := make(map[string]bool, len(ds))
 	for i, d := range ds {
 		if err := d.Validate(); err != nil {
@@ -121,11 +132,7 @@ func blockTriStates(fleet Fleet, idxs []int, elevate *faultcurve.Domain) []dist.
 }
 
 func resultFromJoint(joint *dist.JointCrashByz, m CountModel) Result {
-	return Result{
-		Safe:        joint.SumWhere(m.Safe),
-		Live:        joint.SumWhere(m.Live),
-		SafeAndLive: joint.SumWhere(func(c, b int) bool { return m.Safe(c, b) && m.Live(c, b) }),
-	}
+	return resultFromJointModel(joint, m)
 }
 
 // AnalyzeDomains computes the exact Result of a fleet whose nodes belong
@@ -136,6 +143,9 @@ func resultFromJoint(joint *dist.JointCrashByz, m CountModel) Result {
 func AnalyzeDomains(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
 	if err := checkDomainQuery(fleet, m, domains); err != nil {
 		return Result{}, err
+	}
+	if len(domains) == 0 {
+		return Analyze(fleet, m)
 	}
 	_, blocks := domains.partition(fleet)
 	populated := 0
@@ -196,6 +206,9 @@ func square(n int) float64 { f := float64(n); return f * f }
 // for this query in DP cell updates — the unit the serving layer's work
 // bounds are denominated in (n^3 for the domain-free engine).
 func DomainsWorkEstimate(fleet Fleet, domains DomainSet) float64 {
+	if len(domains) == 0 {
+		return cube(len(fleet))
+	}
 	_, blocks := domains.partition(fleet)
 	populated := 0
 	for _, b := range blocks {

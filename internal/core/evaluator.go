@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// Evaluator is the reusable-workspace analysis engine: it owns the DP
+// buffers every exact count-based analysis needs, so a long-lived
+// Evaluator answers a stream of queries with zero steady-state
+// allocations (pinned by TestEvaluatorAnalyzeZeroAllocs). It also carries
+// the incremental machinery the hot paths stack on: prefix-extended
+// uniform N-sweeps and the one-pass quorum-sizing sweeps that build the
+// joint DP once per fleet.
+//
+// Ownership rules (see DESIGN.md "Incremental evaluation engine"):
+//
+//   - An Evaluator is NOT safe for concurrent use. Each goroutine takes
+//     its own, or shares through an EvaluatorPool.
+//   - Results are plain values; nothing an Evaluator returns aliases its
+//     workspaces, so callers may keep results forever.
+//
+// The package-level Analyze/Sweep functions are thin wrappers that run a
+// throwaway Evaluator — identical answers, fresh allocations.
+type Evaluator struct {
+	tri   []dist.TriState
+	joint dist.JointCrashByz
+	tails quorumTails
+}
+
+// NewEvaluator returns an empty evaluator; workspaces grow on first use
+// and are reused afterwards.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// resultFromJointModel sums a model's safety and liveness predicates over
+// a joint table in one pass: each cell's predicates are evaluated once and
+// folded into three compensated sums. Equivalent to (and bit-compatible
+// with) three SumWhere passes, without the closure allocations.
+func resultFromJointModel(j *dist.JointCrashByz, m CountModel) Result {
+	var sSafe, sLive, sBoth dist.KahanSum
+	n := j.N()
+	for c := 0; c <= n; c++ {
+		for b := 0; b+c <= n; b++ {
+			mass := j.PMF(c, b)
+			if mass == 0 {
+				continue
+			}
+			s := m.Safe(c, b)
+			l := m.Live(c, b)
+			if s {
+				sSafe.Add(mass)
+			}
+			if l {
+				sLive.Add(mass)
+			}
+			if s && l {
+				sBoth.Add(mass)
+			}
+		}
+	}
+	return Result{
+		Safe:        dist.Clamp01(sSafe.Sum()),
+		Live:        dist.Clamp01(sLive.Sum()),
+		SafeAndLive: dist.Clamp01(sBoth.Sum()),
+	}
+}
+
+// buildJoint validates the query and (re)builds the joint DP workspace
+// for the fleet — the single O(N^3) step of every evaluator analysis.
+func (e *Evaluator) buildJoint(fleet Fleet, m CountModel) error {
+	if len(fleet) != m.N() {
+		return fmt.Errorf("core: fleet size %d != model N %d", len(fleet), m.N())
+	}
+	return e.buildJointFleet(fleet)
+}
+
+// buildJointFleet is buildJoint for model-free callers (quorum sweeps
+// evaluate many models against one fleet).
+func (e *Evaluator) buildJointFleet(fleet Fleet) error {
+	if err := fleet.Validate(); err != nil {
+		return err
+	}
+	e.tri = e.tri[:0]
+	for _, n := range fleet {
+		e.tri = append(e.tri, n.Profile.TriState())
+	}
+	e.joint.Reset(e.tri)
+	return nil
+}
+
+// Analyze computes the exact Result for a fleet under a count-based
+// protocol model, reusing the evaluator's workspaces: zero steady-state
+// allocations once the buffers have grown to the fleet size. Identical
+// answers to the package-level Analyze.
+func (e *Evaluator) Analyze(fleet Fleet, m CountModel) (Result, error) {
+	if err := e.buildJoint(fleet, m); err != nil {
+		return Result{}, err
+	}
+	return resultFromJointModel(&e.joint, m), nil
+}
+
+// AnalyzeDomains is the evaluator counterpart of the package-level
+// AnalyzeDomains: domain-free queries (the common serving case) run
+// through the reusable workspace; populated domain layouts dispatch to the
+// correlated engines, which own their own intermediates. Validation is
+// identical to the package function — a fleet whose nodes reference
+// domains missing from the set is rejected, never silently analyzed as
+// independent.
+func (e *Evaluator) AnalyzeDomains(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	if len(domains) == 0 {
+		if err := checkDomainQuery(fleet, m, domains); err != nil {
+			return Result{}, err
+		}
+		return e.Analyze(fleet, m)
+	}
+	return AnalyzeDomains(fleet, m, domains)
+}
+
+// AnalyzeUniformNsInto evaluates a uniform fleet at every size in ns —
+// which must be positive and ascending — by prefix-extending a single
+// joint DP: one O(ns[0]^3) build, then O(n^2) ExtendWith folds per
+// additional node, instead of a from-scratch DP per size. modelFor maps
+// each size to its protocol model (e.g. NewRaft). Results are appended to
+// dst and returned; the extended tables are bit-identical to fresh
+// builds, so answers match per-size Analyze calls exactly.
+func (e *Evaluator) AnalyzeUniformNsInto(dst []Result, profile faultcurve.Profile, ns []int, modelFor func(n int) CountModel) ([]Result, error) {
+	if err := profile.Validate(); err != nil {
+		return dst, err
+	}
+	tri := profile.TriState()
+	cur := 0
+	e.joint.Reset(nil)
+	for i, n := range ns {
+		if n <= 0 || n < cur {
+			return dst, fmt.Errorf("core: uniform N-sweep sizes must be positive and ascending, got %v at index %d", n, i)
+		}
+		for ; cur < n; cur++ {
+			e.joint.ExtendWith(tri)
+		}
+		m := modelFor(n)
+		if m == nil || m.N() != n {
+			return dst, fmt.Errorf("core: uniform N-sweep model for n=%d has N=%v", n, m)
+		}
+		dst = append(dst, resultFromJointModel(&e.joint, m))
+	}
+	return dst, nil
+}
+
+// EvaluatorPool shares evaluators across goroutines: each worker takes a
+// private Evaluator for the duration of one computation and returns it,
+// so concurrent workers never share a workspace while hot paths still
+// reach zero steady-state allocations. The zero value is ready to use.
+type EvaluatorPool struct {
+	p sync.Pool
+}
+
+// NewEvaluatorPool returns an empty pool.
+func NewEvaluatorPool() *EvaluatorPool { return &EvaluatorPool{} }
+
+// Get takes an evaluator from the pool (allocating one if idle).
+func (p *EvaluatorPool) Get() *Evaluator {
+	if e, ok := p.p.Get().(*Evaluator); ok {
+		return e
+	}
+	return NewEvaluator()
+}
+
+// Put returns an evaluator to the pool. The caller must not use it again.
+func (p *EvaluatorPool) Put(e *Evaluator) { p.p.Put(e) }
+
+// Analyze runs one exact analysis on a pooled evaluator.
+func (p *EvaluatorPool) Analyze(fleet Fleet, m CountModel) (Result, error) {
+	e := p.Get()
+	defer p.Put(e)
+	return e.Analyze(fleet, m)
+}
+
+// AnalyzeDomains runs one domain-aware analysis on a pooled evaluator —
+// the drop-in engine the serving layer's worker pool uses.
+func (p *EvaluatorPool) AnalyzeDomains(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	e := p.Get()
+	defer p.Put(e)
+	return e.AnalyzeDomains(fleet, m, domains)
+}

@@ -46,8 +46,13 @@ import (
 type Fingerprint [sha256.Size]byte
 
 // String renders the fingerprint as lowercase hex, the form used as a
-// cache key and surfaced in service responses.
-func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+// cache key and surfaced in service responses. It encodes through a stack
+// buffer so the cache-key path pays exactly one allocation.
+func (f Fingerprint) String() string {
+	var dst [2 * sha256.Size]byte
+	hex.Encode(dst[:], f[:])
+	return string(dst[:])
+}
 
 const fingerprintDomain = "probcons-query-v1"
 
@@ -103,12 +108,19 @@ func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) 
 		appendStr(m.Name())
 	}
 
-	indep, blocks := domains.partition(fleet)
-
 	// Sorted (PCrash, PByz) bit pairs of the independent nodes:
 	// permutation-invariant, exact. With no populated domains this is the
 	// whole fleet and the encoding is identical to the domain-free one.
-	buf = appendSortedProfileBits(buf, fleet, indep)
+	// The domain-free case (the serving layer's hot sweep path) skips the
+	// partition entirely — no map, no index slices.
+	var blocks [][]int
+	if len(domains) == 0 {
+		buf = appendSortedProfileBits(buf, fleet, nil, true)
+	} else {
+		var indep []int
+		indep, blocks = domains.partition(fleet)
+		buf = appendSortedProfileBits(buf, fleet, indep, false)
+	}
 
 	// One chunk per populated domain: shock parameters followed by the
 	// sorted member profile bits. Chunks are sorted byte-wise before being
@@ -125,7 +137,7 @@ func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) 
 		chunk := binary.BigEndian.AppendUint64(nil, math.Float64bits(d.ShockProb))
 		chunk = binary.BigEndian.AppendUint64(chunk, math.Float64bits(d.CrashMultiplier))
 		chunk = binary.BigEndian.AppendUint64(chunk, math.Float64bits(d.ByzMultiplier))
-		chunk = appendSortedProfileBits(chunk, fleet, idxs)
+		chunk = appendSortedProfileBits(chunk, fleet, idxs, false)
 		chunks = append(chunks, chunk)
 	}
 	if len(chunks) > 0 {
@@ -141,19 +153,59 @@ func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) 
 }
 
 // appendSortedProfileBits appends the count and the sorted exact IEEE-754
-// (PCrash, PByz) bit pairs of the given fleet indices.
-func appendSortedProfileBits(buf []byte, fleet Fleet, idxs []int) []byte {
-	keys := make([][2]uint64, len(idxs))
-	for j, i := range idxs {
-		p := fleet[i].Profile
-		keys[j] = [2]uint64{math.Float64bits(p.PCrash), math.Float64bits(p.PByz)}
+// (PCrash, PByz) bit pairs of the given fleet indices (the whole fleet
+// when all is set, so domain-free callers need no index slice).
+func appendSortedProfileBits(buf []byte, fleet Fleet, idxs []int, all bool) []byte {
+	n := len(idxs)
+	if all {
+		n = len(fleet)
 	}
+	// Fleets up to typical serving sizes sort in a stack buffer with an
+	// allocation-free insertion sort (the keys are few and often
+	// pre-sorted — uniform fleets are constant); larger fleets take the
+	// allocating sort.Slice path.
+	if n <= 64 {
+		var arr [64][2]uint64
+		keys := arr[:n]
+		fillProfileKeys(keys, fleet, idxs, all)
+		insertionSortProfileKeys(keys)
+		return appendProfileKeys(buf, keys)
+	}
+	keys := make([][2]uint64, n)
+	fillProfileKeys(keys, fleet, idxs, all)
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i][0] != keys[j][0] {
 			return keys[i][0] < keys[j][0]
 		}
 		return keys[i][1] < keys[j][1]
 	})
+	return appendProfileKeys(buf, keys)
+}
+
+func fillProfileKeys(keys [][2]uint64, fleet Fleet, idxs []int, all bool) {
+	for j := range keys {
+		i := j
+		if !all {
+			i = idxs[j]
+		}
+		p := fleet[i].Profile
+		keys[j] = [2]uint64{math.Float64bits(p.PCrash), math.Float64bits(p.PByz)}
+	}
+}
+
+func insertionSortProfileKeys(keys [][2]uint64) {
+	for i := 1; i < len(keys); i++ {
+		k := keys[i]
+		j := i - 1
+		for j >= 0 && (keys[j][0] > k[0] || (keys[j][0] == k[0] && keys[j][1] > k[1])) {
+			keys[j+1] = keys[j]
+			j--
+		}
+		keys[j+1] = k
+	}
+}
+
+func appendProfileKeys(buf []byte, keys [][2]uint64) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, uint64(len(keys)))
 	for _, k := range keys {
 		buf = binary.BigEndian.AppendUint64(buf, k[0])

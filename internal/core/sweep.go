@@ -11,6 +11,142 @@ import (
 // concretely, sweep every quorum sizing that preserves the safety
 // invariants and pick the one with the best liveness (or expose the whole
 // frontier so an operator can trade the two, generalising experiment E4).
+//
+// The sweeps are one-pass: the joint (#crashed, #Byzantine) DP depends
+// only on the fleet, never on the quorum sizes, so it is built exactly
+// once per fleet (pinned by TestSweepRaftQuorumsSingleDPBuild) and every
+// (QPer, QVC) / (q, qt) pair is answered from O(N^2) cached tail sums:
+//
+//   - colCum[b][c] = P[B = b, C <= c]  — safety-and-liveness slices at a
+//     fixed Byzantine count;
+//   - bCum[b]      = P[B <= b]         — PBFT safety, which depends only
+//     on the Byzantine marginal;
+//   - diagCum[t]   = P[C + B <= t]     — Raft liveness, which depends
+//     only on the total failure count.
+//
+// That turns an O(N^2 pairs × N^3 DP) sweep into one O(N^3) build plus
+// O(N) per pair — asymptotically the cost of a single analysis.
+
+// quorumTails is the cached prefix-sum view of one joint DP. Buffers are
+// reused across builds, so a warm evaluator sweeps with no table
+// allocations.
+type quorumTails struct {
+	n       int
+	colCum  []float64       // colCum[b*(n+1)+c] = P[B == b, C <= c]
+	bCum    []float64       // bCum[b] = P[B <= b]
+	diagCum []float64       // diagCum[t] = P[C+B <= t]
+	kah     []dist.KahanSum // per-diagonal scratch
+}
+
+func (t *quorumTails) build(j *dist.JointCrashByz) {
+	n := j.N()
+	w := n + 1
+	t.n = n
+	t.colCum = growFloats(t.colCum, w*w)
+	t.bCum = growFloats(t.bCum, w)
+	t.diagCum = growFloats(t.diagCum, w)
+	if cap(t.kah) < w {
+		t.kah = make([]dist.KahanSum, w)
+	} else {
+		t.kah = t.kah[:w]
+	}
+	for b := 0; b <= n; b++ {
+		var s dist.KahanSum
+		for c := 0; c <= n; c++ {
+			s.Add(j.PMF(c, b))
+			t.colCum[b*w+c] = dist.Clamp01(s.Sum())
+		}
+	}
+	var sb dist.KahanSum
+	for b := 0; b <= n; b++ {
+		sb.Add(t.colCum[b*w+n])
+		t.bCum[b] = dist.Clamp01(sb.Sum())
+	}
+	for i := range t.kah {
+		t.kah[i].Reset()
+	}
+	for c := 0; c <= n; c++ {
+		for b := 0; b+c <= n; b++ {
+			t.kah[c+b].Add(j.PMF(c, b))
+		}
+	}
+	var sd dist.KahanSum
+	for k := 0; k <= n; k++ {
+		sd.Add(t.kah[k].Sum())
+		t.diagCum[k] = dist.Clamp01(sd.Sum())
+	}
+}
+
+func growFloats(s []float64, need int) []float64 {
+	if cap(s) < need {
+		return make([]float64, need)
+	}
+	return s[:need]
+}
+
+// pBAndCLe returns P[B = b, C <= c], tolerating out-of-range c.
+func (t *quorumTails) pBAndCLe(b, c int) float64 {
+	if c < 0 || b < 0 || b > t.n {
+		return 0
+	}
+	if c > t.n {
+		c = t.n
+	}
+	return t.colCum[b*(t.n+1)+c]
+}
+
+// raftResult answers one Raft sizing from the cached tails: safety is the
+// static quorum condition times P[B = 0], liveness the total-failure tail
+// at n - max(QPer, QVC).
+func (t *quorumTails) raftResult(m Raft) Result {
+	var res Result
+	tl := t.n - m.QPer
+	if m.QVC > m.QPer {
+		tl = t.n - m.QVC
+	}
+	if tl >= 0 {
+		res.Live = t.diagCum[tl]
+	}
+	if m.QuorumsSafe() {
+		res.Safe = t.pBAndCLe(0, t.n)
+		res.SafeAndLive = t.pBAndCLe(0, tl)
+	}
+	return res
+}
+
+// pbftResult answers one symmetric PBFT sizing (QEq = QPer = QVC = q,
+// trigger qt) from the cached tails. Safety depends only on the Byzantine
+// marginal; liveness sums the per-b column prefixes up to the Byzantine
+// caps of Theorem 3.1.
+func (t *quorumTails) pbftResult(m PBFT) Result {
+	var res Result
+	q, qt := m.QVC, m.QVCT
+	bSafeMax := 2*q - t.n - 1 // b < 2*QEq - N and b < QPer + QVC - N collapse for symmetric quorums
+	if bSafeMax >= 0 {
+		if bSafeMax > t.n {
+			bSafeMax = t.n
+		}
+		res.Safe = t.bCum[bSafeMax]
+	}
+	bLiveMax := q - qt // b <= QVC - QVCT
+	if qt-1 < bLiveMax {
+		bLiveMax = qt - 1 // b < QVCT
+	}
+	if t.n-q < bLiveMax {
+		bLiveMax = t.n - q // need c >= 0 at c <= n - q - b
+	}
+	var live, both dist.KahanSum
+	for b := 0; b <= bLiveMax; b++ {
+		p := t.pBAndCLe(b, t.n-q-b)
+		live.Add(p)
+		if b <= bSafeMax {
+			both.Add(p)
+		}
+	}
+	res.Live = dist.Clamp01(live.Sum())
+	res.SafeAndLive = dist.Clamp01(both.Sum())
+	return res
+}
 
 // RaftSizing is one point of the Raft quorum-sizing sweep.
 type RaftSizing struct {
@@ -18,27 +154,33 @@ type RaftSizing struct {
 	Res   Result
 }
 
-// SweepRaftQuorums evaluates every (QPer, QVC) pair for the fleet. If
-// safeOnly is set, only sizings satisfying Theorem 3.2's safety conditions
-// are returned (the ones a CFT deployment may actually use); otherwise the
-// full grid is returned for analysis.
+// SweepRaftQuorums evaluates every (QPer, QVC) pair for the fleet with a
+// single joint-DP build. If safeOnly is set, only sizings satisfying
+// Theorem 3.2's safety conditions are returned (the ones a CFT deployment
+// may actually use); otherwise the full grid is returned for analysis.
 func SweepRaftQuorums(fleet Fleet, safeOnly bool) ([]RaftSizing, error) {
+	return NewEvaluator().SweepRaftQuorums(fleet, safeOnly)
+}
+
+// SweepRaftQuorums is the evaluator form of the package-level sweep: the
+// joint DP and its tail sums live in the evaluator's reusable workspaces.
+func (e *Evaluator) SweepRaftQuorums(fleet Fleet, safeOnly bool) ([]RaftSizing, error) {
 	n := len(fleet)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty fleet")
 	}
-	var out []RaftSizing
+	if err := e.buildJointFleet(fleet); err != nil {
+		return nil, err
+	}
+	e.tails.build(&e.joint)
+	out := make([]RaftSizing, 0, n*n)
 	for qper := 1; qper <= n; qper++ {
 		for qvc := 1; qvc <= n; qvc++ {
 			m := Raft{NNodes: n, QPer: qper, QVC: qvc}
 			if safeOnly && !m.QuorumsSafe() {
 				continue
 			}
-			res, err := Analyze(fleet, m)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, RaftSizing{Model: m, Res: res})
+			out = append(out, RaftSizing{Model: m, Res: e.tails.raftResult(m)})
 		}
 	}
 	return out, nil
@@ -72,22 +214,28 @@ type PBFTSizing struct {
 }
 
 // SweepPBFTQuorums evaluates symmetric PBFT sizings (QEq = QPer = QVC = q)
-// against all trigger sizes for the fleet, returning every point. The E4
-// analysis is the N∈{4,5,7} slice of this sweep.
+// against all trigger sizes for the fleet with a single joint-DP build,
+// returning every point. The E4 analysis is the N∈{4,5,7} slice of this
+// sweep.
 func SweepPBFTQuorums(fleet Fleet) ([]PBFTSizing, error) {
+	return NewEvaluator().SweepPBFTQuorums(fleet)
+}
+
+// SweepPBFTQuorums is the evaluator form of the package-level sweep.
+func (e *Evaluator) SweepPBFTQuorums(fleet Fleet) ([]PBFTSizing, error) {
 	n := len(fleet)
 	if n == 0 {
 		return nil, fmt.Errorf("core: empty fleet")
 	}
-	var out []PBFTSizing
+	if err := e.buildJointFleet(fleet); err != nil {
+		return nil, err
+	}
+	e.tails.build(&e.joint)
+	out := make([]PBFTSizing, 0, n*(n+1)/2)
 	for q := 1; q <= n; q++ {
 		for qt := 1; qt <= q; qt++ {
 			m := PBFT{NNodes: n, QEq: q, QPer: q, QVC: q, QVCT: qt}
-			res, err := Analyze(fleet, m)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, PBFTSizing{Model: m, Res: res})
+			out = append(out, PBFTSizing{Model: m, Res: e.tails.pbftResult(m)})
 		}
 	}
 	return out, nil

@@ -1,9 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"math"
 	"strconv"
-	"strings"
 )
 
 // Clamp01 clamps x to the closed interval [0, 1]. NaN clamps to 0 so a
@@ -73,9 +73,23 @@ func FormatPercent(p float64, digits int) string {
 			d = lead
 		}
 	}
-	s := strconv.FormatFloat(pct, 'f', d, 64)
-	if dot := strings.IndexByte(s, '.'); dot >= 0 && strings.Trim(s[dot+1:], "0") == "" {
-		s = s[:dot]
+	// Format into a stack buffer: percent strings are rendered once per
+	// serving-cache miss, and the single string conversion below is the
+	// only allocation on that path.
+	var buf [40]byte
+	b := strconv.AppendFloat(buf[:0], pct, 'f', d, 64)
+	if dot := bytes.IndexByte(b, '.'); dot >= 0 {
+		allZero := true
+		for _, c := range b[dot+1:] {
+			if c != '0' {
+				allZero = false
+				break
+			}
+		}
+		if allZero {
+			b = b[:dot]
+		}
 	}
-	return s + "%"
+	b = append(b, '%')
+	return string(b)
 }

@@ -1,5 +1,7 @@
 package dist
 
+import "sync/atomic"
+
 // JointCrashByz is the exact joint distribution of (#crashed, #Byzantine)
 // across a fleet of independent tri-state nodes — the object at the heart
 // of the paper's count-based analysis: a protocol model is a predicate on
@@ -10,31 +12,80 @@ package dist
 // Byzantine). Each fold is O(i^2) over the cells reachable after i nodes,
 // so construction is O(n^3) total and O(n^2) space — exact for
 // heterogeneous fleets of any composition, with no 3^N blow-up.
+//
+// The zero value is an empty (n=0) table ready for Reset or ExtendWith.
+// Reset rebuilds in place, reusing both internal buffers, so a long-lived
+// JointCrashByz reaches zero steady-state allocations (pinned by
+// TestWorkspaceZeroAllocs) — the workspace discipline every hot path of
+// the evaluation engine is built on. A JointCrashByz is not safe for
+// concurrent mutation; see core.EvaluatorPool for sharing across workers.
 type JointCrashByz struct {
 	n int
 	// p is the (n+1)x(n+1) lower-triangular table flattened row-major:
 	// p[c*(n+1)+b] = P[exactly c crashed and b Byzantine], c+b <= n.
 	p []float64
+	// scratch is the DP's second buffer, kept so Reset and ExtendWith
+	// never reallocate in steady state.
+	scratch []float64
+}
+
+// jointBuilds counts from-scratch table constructions (Reset and therefore
+// NewJointCrashByz, plus LeaveOneOut's rebuild fallback) — the test hook
+// that pins "one DP build per fleet" claims like SweepRaftQuorums'.
+// Incremental ExtendWith folds and leave-one-out deflations do not count.
+var jointBuilds atomic.Int64
+
+// JointBuilds returns the number of from-scratch joint-DP constructions
+// performed by this process so far. Tests diff it around a call to assert
+// how many full O(n^3) builds the call performed.
+func JointBuilds() int64 { return jointBuilds.Load() }
+
+// clampTri normalises one node's tri-state to a valid distribution, crash
+// taking priority over Byzantine — the same branch order the Monte-Carlo
+// sampler uses — so DP tables always sum to exactly one node's worth of
+// mass even for un-validated inputs. All folds and deflations must share
+// this clamping so an incremental update inverts its fold exactly.
+func clampTri(t TriState) (pc, pb, pok float64) {
+	pc = Clamp01(t.PCrash)
+	pb = Clamp01(t.PByz)
+	if pb > 1-pc {
+		pb = 1 - pc
+	}
+	return pc, pb, 1 - pc - pb
 }
 
 // NewJointCrashByz builds the joint distribution for independent nodes.
 func NewJointCrashByz(nodes []TriState) *JointCrashByz {
+	d := &JointCrashByz{}
+	d.Reset(nodes)
+	return d
+}
+
+// Reset rebuilds the table for the given nodes in place. Buffers are
+// reused whenever they are large enough, so resetting a warm table of the
+// same (or smaller) size allocates nothing.
+func (d *JointCrashByz) Reset(nodes []TriState) {
+	jointBuilds.Add(1)
 	n := len(nodes)
 	w := n + 1
-	cur := make([]float64, w*w)
-	next := make([]float64, w*w)
+	need := w * w
+	if cap(d.p) < need {
+		d.p = make([]float64, need)
+	} else {
+		d.p = d.p[:need]
+	}
+	if cap(d.scratch) < need {
+		d.scratch = make([]float64, need)
+	} else {
+		d.scratch = d.scratch[:need]
+	}
+	cur, next := d.p, d.scratch
+	for j := range cur {
+		cur[j] = 0
+	}
 	cur[0] = 1
 	for i, t := range nodes {
-		// Clamp an overfull node to a valid distribution, crash taking
-		// priority over Byzantine — the same branch order the Monte-Carlo
-		// sampler uses — so the table always sums to exactly one node's
-		// worth of mass even for un-validated inputs.
-		pc := Clamp01(t.PCrash)
-		pb := Clamp01(t.PByz)
-		if pb > 1-pc {
-			pb = 1 - pc
-		}
-		pok := 1 - pc - pb
+		pc, pb, pok := clampTri(t)
 		for j := range next[:(i+2)*w] {
 			next[j] = 0
 		}
@@ -53,7 +104,43 @@ func NewJointCrashByz(nodes []TriState) *JointCrashByz {
 		}
 		cur, next = next, cur
 	}
-	return &JointCrashByz{n: n, p: cur}
+	d.n = n
+	d.p, d.scratch = cur, next
+}
+
+// ExtendWith folds one more node into the table in O(n^2) — the prefix-
+// extension primitive that lets a uniform-fleet N-sweep reuse a single DP
+// instead of rebuilding from scratch at every size. The fold performs the
+// same floating-point operations as Reset over the extended node list, so
+// an extended table is bit-identical to a fresh build.
+func (d *JointCrashByz) ExtendWith(t TriState) {
+	pc, pb, pok := clampTri(t)
+	w := d.n + 1  // old stride
+	w2 := d.n + 2 // new stride
+	need := w2 * w2
+	if cap(d.scratch) < need {
+		d.scratch = make([]float64, need)
+	} else {
+		d.scratch = d.scratch[:need]
+	}
+	next := d.scratch
+	for j := range next {
+		next[j] = 0
+	}
+	for c := 0; c <= d.n; c++ {
+		row := d.p[c*w:]
+		for b := 0; b+c <= d.n; b++ {
+			m := row[b]
+			if m == 0 {
+				continue
+			}
+			next[c*w2+b] += m * pok
+			next[(c+1)*w2+b] += m * pc
+			next[c*w2+b+1] += m * pb
+		}
+	}
+	d.p, d.scratch = next, d.p
+	d.n++
 }
 
 // N returns the fleet size.

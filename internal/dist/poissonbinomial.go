@@ -6,7 +6,9 @@ package dist
 // paper's heterogeneous-fleet analyses revolve around. The PMF is
 // materialised once at construction by the classic O(n^2) convolution DP;
 // queries are then O(1) (PMF) or O(n) with compensated summation
-// (CDF/TailGE).
+// (CDF/TailGE). Reset rebuilds in place (zero steady-state allocations)
+// and ExtendWith folds in one more trial in O(n); like every dist
+// workspace, a PoissonBinomial is single-owner — not for concurrent use.
 type PoissonBinomial struct {
 	pmf []float64 // pmf[k] = P[X = k], k in [0, n]
 }
@@ -16,19 +18,52 @@ type PoissonBinomial struct {
 // The DP invariant: after folding in trial i, pmf[k] is the probability
 // of exactly k successes among the first i trials.
 func NewPoissonBinomial(probs []float64) *PoissonBinomial {
-	pmf := make([]float64, len(probs)+1)
-	pmf[0] = 1
+	d := &PoissonBinomial{}
+	d.Reset(probs)
+	return d
+}
+
+// Reset rebuilds the distribution for a new set of trials in place,
+// reusing the PMF buffer whenever it is large enough: a warm
+// PoissonBinomial resets with zero allocations. The zero value resets the
+// same way (Reset(nil) is the empty 0-trial distribution).
+func (d *PoissonBinomial) Reset(probs []float64) {
+	need := len(probs) + 1
+	if cap(d.pmf) < need {
+		d.pmf = make([]float64, need)
+	} else {
+		d.pmf = d.pmf[:need]
+	}
+	for k := range d.pmf {
+		d.pmf[k] = 0
+	}
+	d.pmf[0] = 1
 	for i, p := range probs {
 		p = Clamp01(p)
 		q := 1 - p
 		// Descending k lets the update run in place: pmf[k-1] still holds
 		// the previous iteration's value when pmf[k] consumes it.
 		for k := i + 1; k >= 1; k-- {
-			pmf[k] = pmf[k]*q + pmf[k-1]*p
+			d.pmf[k] = d.pmf[k]*q + d.pmf[k-1]*p
 		}
-		pmf[0] *= q
+		d.pmf[0] *= q
 	}
-	return &PoissonBinomial{pmf: pmf}
+}
+
+// ExtendWith folds one more Bernoulli(p) trial into the distribution in
+// O(n) — the prefix-extension primitive for grow-by-one searches like
+// committee sizing. The fold performs the same floating-point operations
+// as a fresh build over the extended trial list, so the extended PMF is
+// bit-identical to NewPoissonBinomial of the longer slice.
+func (d *PoissonBinomial) ExtendWith(p float64) {
+	p = Clamp01(p)
+	q := 1 - p
+	n := len(d.pmf) // new top index after the append below
+	d.pmf = append(d.pmf, 0)
+	for k := n; k >= 1; k-- {
+		d.pmf[k] = d.pmf[k]*q + d.pmf[k-1]*p
+	}
+	d.pmf[0] *= q
 }
 
 // N returns the number of trials.

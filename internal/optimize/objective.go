@@ -156,15 +156,19 @@ func (p HardeningProblem) UsesCentralDifferences() bool {
 
 // Objective returns the minimized smooth function f(x) = ln(1 -
 // SafeAndLive(x)). For independent fleets (no populated domains) the
-// gradient is analytic via the leave-one-out trinomial DP; with domains
-// it falls back to central differences, whose probes the response curves
-// clamp safely.
+// gradient is analytic via the shared leave-one-out DP state; with
+// domains it falls back to central differences, whose probes the response
+// curves clamp safely.
 func (p HardeningProblem) Objective() Objective {
 	value := func(x []float64) float64 { return logUnavail(p.Eval(x)) }
 	if p.UsesCentralDifferences() {
 		return FuncObjective{F: value}
 	}
-	return FuncObjective{F: value, G: p.analyticGrad}
+	// The leave-one-out workspace is shared across the solve's gradient
+	// calls: solvers evaluate gradients sequentially, so one workspace
+	// amortizes its buffers over every iteration.
+	loo := &dist.LeaveOneOut{}
+	return FuncObjective{F: value, G: func(x, out []float64) { p.analyticGrad(loo, x, out) }}
 }
 
 // analyticGrad computes ∇f exactly for independent fleets. Writing node
@@ -176,8 +180,14 @@ func (p HardeningProblem) Objective() Objective {
 //
 // where J_{-i} is the exact joint DP over the other nodes and ok is the
 // safe-and-live indicator. The chain rule through the response curve and
-// the log wrapper finishes the job. Cost: one O(N^3) DP per coordinate.
-func (p HardeningProblem) analyticGrad(x, out []float64) {
+// the log wrapper finishes the job.
+//
+// J_{-i} comes from the shared leave-one-out state: one O(N^3) DP build
+// of the full hardened fleet, then an O(N^2) deflation per coordinate —
+// the whole gradient costs asymptotically one analysis, where it used to
+// rebuild a from-scratch DP per node. The full table also yields the
+// objective value, so no separate engine run is needed.
+func (p HardeningProblem) analyticGrad(loo *dist.LeaveOneOut, x, out []float64) {
 	n := len(p.Fleet)
 	ok := func(c, b int) float64 {
 		if c < 0 || b < 0 || c+b > n {
@@ -189,20 +199,13 @@ func (p HardeningProblem) analyticGrad(x, out []float64) {
 		return 0
 	}
 	hardened := p.fleetAt(x)
-	res, err := core.AnalyzeDomains(hardened, p.Model, p.Domains)
-	if err != nil {
-		panic(fmt.Sprintf("optimize: engine rejected a validated hardening query: %v", err))
-	}
-	u := math.Max(1-res.SafeAndLive, unavailFloor)
-	others := make([]faultcurve.Profile, 0, n-1)
+	loo.Reset(faultcurve.TriStates(hardened.Profiles()))
+	safeAndLive := loo.Full().SumWhere(func(c, b int) bool {
+		return p.Model.Safe(c, b) && p.Model.Live(c, b)
+	})
+	u := math.Max(1-safeAndLive, unavailFloor)
 	for i := 0; i < n; i++ {
-		others = others[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				others = append(others, hardened[j].Profile)
-			}
-		}
-		joint := dist.NewJointCrashByz(faultcurve.TriStates(others))
+		joint := loo.Without(i)
 		bf := byzFraction(p.Fleet[i].Profile)
 		cf := 1 - bf
 		var dSL float64

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/faultcurve"
 )
 
@@ -363,3 +364,23 @@ type customResponse struct{}
 func (customResponse) Prob(float64) float64  { return 0.5 }
 func (customResponse) DProb(float64) float64 { return 0 }
 func (customResponse) Validate() error       { return nil }
+
+// TestAnalyticGradSingleDPBuild pins the incremental-engine claim: one
+// gradient evaluation performs exactly one joint-DP build (the full
+// hardened fleet), with every per-coordinate J_{-i} obtained by O(N^2)
+// leave-one-out deflation rather than a from-scratch rebuild.
+func TestAnalyticGradSingleDPBuild(t *testing.T) {
+	p := exemplarProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	obj := p.Objective()
+	x := []float64{0.2, 0.2, 0.2, 0.2, 0.2}
+	out := make([]float64, len(x))
+	obj.Grad(x, out) // warm the workspace
+	before := dist.JointBuilds()
+	obj.Grad(x, out)
+	if builds := dist.JointBuilds() - before; builds != 1 {
+		t.Errorf("gradient performed %d joint-DP builds, want exactly 1", builds)
+	}
+}

@@ -101,10 +101,18 @@ func Advise(p Plan) (Schedule, error) {
 	}
 	var sched Schedule
 	sched.MinNines = -1
+	// One evaluator and one fleet buffer serve every epoch review: the
+	// advisor's horizon walk re-analyzes the fleet hundreds of times, and
+	// the reused DP workspaces keep that loop allocation-free.
+	st := reviewState{
+		plan:  p,
+		ev:    core.NewEvaluator(),
+		fleet: make(core.Fleet, len(p.Nodes)),
+	}
 	for t := 0.0; t <= p.Horizon; t += p.Epoch {
 		review := Review{At: t}
 		for r := 0; r < maxRepl; r++ {
-			nines, worst, worstProb := fleetNines(p, curves, ages, t)
+			nines, worst, worstProb := st.fleetNines(curves, ages, t)
 			if nines >= p.TargetNines {
 				review.Nines = nines
 				break
@@ -116,10 +124,10 @@ func Advise(p Plan) (Schedule, error) {
 			names[worst] = fmt.Sprintf("%s-repl@%.0fh", p.Nodes[worst].Name, t)
 			review.Replacements = append(review.Replacements, act)
 			sched.Actions = append(sched.Actions, act)
-			review.Nines, _, _ = fleetNines(p, curves, ages, t)
+			review.Nines, _, _ = st.fleetNines(curves, ages, t)
 		}
 		if review.Nines == 0 {
-			review.Nines, _, _ = fleetNines(p, curves, ages, t)
+			review.Nines, _, _ = st.fleetNines(curves, ages, t)
 		}
 		sched.Reviews = append(sched.Reviews, review)
 		if sched.MinNines < 0 || review.Nines < sched.MinNines {
@@ -129,22 +137,32 @@ func Advise(p Plan) (Schedule, error) {
 	return sched, nil
 }
 
+// reviewState holds the advisor's reusable evaluation workspaces: one
+// core.Evaluator plus the fleet buffer its analyses are staged in.
+type reviewState struct {
+	plan  Plan
+	ev    *core.Evaluator
+	fleet core.Fleet
+}
+
 // fleetNines computes the fleet's safe-and-live nines for the window
 // starting at time t, plus the most failure-prone node and its probability.
-func fleetNines(p Plan, curves []faultcurve.Curve, ages []float64, t float64) (nines float64, worst int, worstProb float64) {
-	fleet := make(core.Fleet, len(curves))
+func (st *reviewState) fleetNines(curves []faultcurve.Curve, ages []float64, t float64) (nines float64, worst int, worstProb float64) {
 	worst, worstProb = 0, -1.0
 	for i, c := range curves {
 		age := t + ages[i]
 		if age < 0 {
 			age = 0
 		}
-		prob := faultcurve.FailProb(c, age, p.Window)
-		fleet[i] = core.Node{Profile: faultcurve.Profile{PCrash: prob}}
+		prob := faultcurve.FailProb(c, age, st.plan.Window)
+		st.fleet[i] = core.Node{Profile: faultcurve.Profile{PCrash: prob}}
 		if prob > worstProb {
 			worst, worstProb = i, prob
 		}
 	}
-	res := core.MustAnalyze(fleet, p.Model)
+	res, err := st.ev.Analyze(st.fleet, st.plan.Model)
+	if err != nil {
+		panic(err) // window failure probabilities are clamped to [0,1]
+	}
 	return dist.Nines(res.SafeAndLive), worst, worstProb
 }

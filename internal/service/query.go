@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -26,8 +27,55 @@ type ModelSpec struct {
 	QVCT     int    `json:"q_vct,omitempty"` // pbft only
 }
 
+// memoMap is a tiny capped memoization map: lock-free-ish reads through
+// an RWMutex, lazy initialization, and a size cap that bounds memory
+// against adversarial key churn (entries past the cap are computed but
+// not retained). It is the single home of the locking discipline shared
+// by the model and model-name caches below.
+type memoMap[K comparable, V any] struct {
+	mu  sync.RWMutex
+	m   map[K]V
+	cap int
+}
+
+func (c *memoMap[K, V]) get(k K) (V, bool) {
+	c.mu.RLock()
+	v, ok := c.m[k]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *memoMap[K, V]) put(k K, v V) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]V)
+	}
+	if len(c.m) < c.cap {
+		c.m[k] = v
+	}
+	c.mu.Unlock()
+}
+
+// modelCache memoizes resolved specs: sweep grids re-resolve the same
+// few (protocol, n) specs for every cell, and the boxed model is
+// immutable, so each distinct valid spec is built (and allocated) once.
+var modelCache = memoMap[ModelSpec, core.CountModel]{cap: 4096}
+
 // Model resolves the spec into a validated core.CountModel.
 func (ms ModelSpec) Model() (core.CountModel, error) {
+	if m, ok := modelCache.get(ms); ok {
+		return m, nil
+	}
+	m, err := ms.resolve()
+	if err != nil {
+		return nil, err
+	}
+	modelCache.put(ms, m)
+	return m, nil
+}
+
+// resolve builds and validates the model without consulting the cache.
+func (ms ModelSpec) resolve() (core.CountModel, error) {
 	if err := inputcheck.CheckClusterSize(ms.N); err != nil {
 		return nil, err
 	}
@@ -251,9 +299,22 @@ type AnalyzeResponse struct {
 	Cached      bool        `json:"cached"`
 }
 
+// nameCache memoizes CountModel.Name() renderings: the name of a model
+// is immutable and sweep grids re-render the same few models per cell.
+var nameCache = memoMap[core.CountModel, string]{cap: 4096}
+
+func modelName(m core.CountModel) string {
+	if name, ok := nameCache.get(m); ok {
+		return name
+	}
+	name := m.Name()
+	nameCache.put(m, name)
+	return name
+}
+
 func newAnalyzeResponse(m core.CountModel, res core.Result, fp string, cached bool) AnalyzeResponse {
 	return AnalyzeResponse{
-		Model:       m.Name(),
+		Model:       modelName(m),
 		Safe:        res.Safe,
 		Live:        res.Live,
 		SafeAndLive: res.SafeAndLive,

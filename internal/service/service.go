@@ -8,10 +8,12 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultcurve"
 	"repro/internal/qcache"
 )
 
@@ -28,9 +30,10 @@ type Options struct {
 	// Workers bounds concurrent engine computations — analyze misses and
 	// sweep cells alike (default NumCPU). Cache hits are never gated.
 	Workers int
-	// AnalyzeFunc computes one query; defaults to core.AnalyzeDomains
-	// (which reduces to core.Analyze for domain-free fleets). Tests
-	// instrument it to count underlying engine calls.
+	// AnalyzeFunc computes one query; defaults to a core.EvaluatorPool
+	// whose pooled workspaces give every sweep worker an allocation-free
+	// engine (reducing to core.Analyze semantics for domain-free fleets).
+	// Tests instrument it to count underlying engine calls.
 	AnalyzeFunc func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 }
 
@@ -129,7 +132,10 @@ func New(opts Options) *Server {
 		opts.Workers = runtime.NumCPU()
 	}
 	if opts.AnalyzeFunc == nil {
-		opts.AnalyzeFunc = core.AnalyzeDomains
+		// Each engine run borrows a pooled evaluator: concurrent sweep
+		// workers never share a workspace, and steady-state engine runs
+		// stop allocating DP tables.
+		opts.AnalyzeFunc = core.NewEvaluatorPool().AnalyzeDomains
 	}
 	return &Server{
 		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
@@ -251,51 +257,74 @@ func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writ
 			cells = append(cells, cell{ni, pi})
 		}
 	}
-	out := make([]chan SweepLine, len(cells))
-	for i := range out {
-		out[i] = make(chan SweepLine, 1)
-	}
+	// Completed cells land in the shared results slice and announce their
+	// index on one buffered channel — a single allocation for the whole
+	// grid where a channel per cell used to be. The send/receive pair
+	// orders each results[i] write before the writer reads it; the buffer
+	// holds every cell, so a worker never blocks on announcing.
+	results := make([]SweepLine, len(cells))
+	completed := make(chan int, len(cells))
+	ready := make([]bool, len(cells))
 	// Engine concurrency is bounded by the shared worker pool inside
 	// analyzeQuery. This local window provides backpressure against a
 	// slow-reading client: tokens are released by the *writer* as lines
 	// are consumed, so the spawner never runs more than Workers cells
-	// ahead of the stream. Cell goroutines only write to their buffered
-	// slot, so they never block.
+	// ahead of the stream.
 	spawn := make(chan struct{}, s.workers)
 	// Resolve the shared domain layout once; Validate already vetted it.
 	domains, err := resolveDomains(req.Domains)
 	if err != nil {
 		return badRequest(err)
 	}
+	// A fixed worker group per request (capped at the grid size) pulls
+	// cell indices from one channel: goroutine and closure costs are per
+	// request, not per cell.
+	idxCh := make(chan int)
+	nWorkers := s.workers
+	if nWorkers > len(cells) {
+		nWorkers = len(cells)
+	}
+	for w := 0; w < nWorkers; w++ {
+		go func() {
+			for i := range idxCh {
+				c := cells[i]
+				s.activeCells.Add(1)
+				results[i] = s.sweepCell(req.Protocol, req.Ns[c.n], req.Ps[c.p], domains)
+				s.activeCells.Add(-1)
+				s.sweepCells.Add(1)
+				completed <- i
+			}
+		}()
+	}
 	go func() {
-		for i, c := range cells {
-			i, n, p := i, req.Ns[c.n], req.Ps[c.p]
+		defer close(idxCh)
+		for i := range cells {
 			select {
 			case <-ctx.Done():
 				return
 			case spawn <- struct{}{}:
 			}
-			go func() {
-				s.activeCells.Add(1)
-				line := s.sweepCell(req.Protocol, n, p, domains)
-				s.activeCells.Add(-1)
-				s.sweepCells.Add(1)
-				out[i] <- line
-			}()
+			select {
+			case <-ctx.Done():
+				return
+			case idxCh <- i:
+			}
 		}
 	}()
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	for i := range cells {
-		var line SweepLine
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case line = <-out[i]:
+		for !ready[i] {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case done := <-completed:
+				ready[done] = true
+			}
 		}
 		<-spawn // consumed: let the spawner schedule the next cell
-		if err := enc.Encode(line); err != nil {
-			return err // client went away; in-flight cells drain via the buffered channels
+		if err := enc.Encode(results[i]); err != nil {
+			return err // client went away; in-flight cells drain via the buffered channel
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -314,12 +343,11 @@ func (s *Server) sweepCell(protocol string, n int, p float64, domains core.Domai
 		line.Error = err.Error()
 		return line
 	}
-	fleet := core.UniformCrashFleet(n, p)
-	if protocol == "pbft" {
-		fleet = core.UniformByzFleet(n, p)
-	}
+	fp := getSweepFleet(protocol, n, p)
+	fleet := *fp
 	assignRoundRobin(fleet, domains)
 	resp, err := s.analyzeQuery(fleet, m, domains)
+	putSweepFleet(fp)
 	if err != nil {
 		line.Error = err.Error()
 		return line
@@ -331,6 +359,39 @@ func (s *Server) sweepCell(protocol string, n int, p float64, domains core.Domai
 	line.Nines = resp.Nines
 	return line
 }
+
+// sweepFleets recycles the uniform fleets sweep cells stage their queries
+// in. Safe because nothing downstream of sweepCell retains the fleet: the
+// fingerprint copies the profile bits it needs and the engine reads the
+// fleet only inside the synchronous analyze call.
+var sweepFleets = sync.Pool{New: func() any { return new(core.Fleet) }}
+
+// getSweepFleet builds the uniform fleet of one sweep cell in a pooled
+// buffer — no per-node name rendering (sweep cells never surface node
+// names and the canonical fingerprint excludes them) and no steady-state
+// allocation. Return it with putSweepFleet.
+func getSweepFleet(protocol string, n int, p float64) *core.Fleet {
+	profile := faultcurve.Crash(p)
+	if protocol == "pbft" {
+		profile = faultcurve.Byzantine(p)
+	}
+	fp := sweepFleets.Get().(*core.Fleet)
+	fleet := *fp
+	if cap(fleet) < n {
+		fleet = make(core.Fleet, n)
+	} else {
+		fleet = fleet[:n]
+	}
+	// Every field of every slot is overwritten, so recycled metadata
+	// (domains from a previous request) cannot leak between cells.
+	for i := range fleet {
+		fleet[i] = core.Node{Profile: profile}
+	}
+	*fp = fleet
+	return fp
+}
+
+func putSweepFleet(fp *core.Fleet) { sweepFleets.Put(fp) }
 
 // Tables regenerates the paper's Tables 1–2 through the cache: the first
 // call computes 4 + 16 analyses, every later call is all cache hits.

@@ -586,3 +586,26 @@ func TestSweepStopsOnWriterError(t *testing.T) {
 		t.Fatalf("%d cells computed after writer failure, want early stop", got)
 	}
 }
+
+// TestAnalyzeHotPathAllocationGuard is the serving layer's allocation-
+// regression guard: a repeated identical query rides the L0 most-recent-
+// query memo and must not allocate at all.
+func TestAnalyzeHotPathAllocationGuard(t *testing.T) {
+	srv := New(Options{})
+	nodes := make([]NodeSpec, 9)
+	for i := range nodes {
+		nodes[i] = NodeSpec{Name: fmt.Sprintf("n%d", i), PCrash: 0.01 + 0.001*float64(i)}
+	}
+	req := AnalyzeRequest{Model: ModelSpec{Protocol: "raft", N: 9}, Fleet: nodes}
+	if _, err := srv.Analyze(req); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		resp, err := srv.Analyze(req)
+		if err != nil || !resp.Cached {
+			t.Fatal("hot path must hit the memo")
+		}
+	}); n != 0 {
+		t.Errorf("L0 memo hit allocates %v/op, want 0", n)
+	}
+}

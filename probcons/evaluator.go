@@ -1,0 +1,28 @@
+package probcons
+
+import "repro/internal/core"
+
+// Evaluator is the reusable-workspace analysis engine: it owns the DP
+// buffers an exact analysis needs and reuses them across queries, so a
+// long-lived Evaluator answers a stream of analyses with zero
+// steady-state allocations — the same engine probconsd serves traffic
+// with. It also exposes the incremental hot paths: one-pass quorum-sizing
+// sweeps (one joint-DP build per fleet, every (QPer, QVC) pair answered
+// from cached tail sums) and prefix-extended uniform N-sweeps.
+//
+// An Evaluator is NOT safe for concurrent use: embedders give each
+// goroutine its own, or share through an EvaluatorPool. Everything an
+// Evaluator returns is a plain value that never aliases its workspaces.
+type Evaluator = core.Evaluator
+
+// NewEvaluator returns an empty evaluator; workspaces grow on first use.
+func NewEvaluator() *Evaluator { return core.NewEvaluator() }
+
+// EvaluatorPool shares evaluators across goroutines: each computation
+// borrows a private Evaluator and returns it, so concurrent callers never
+// share a workspace while hot paths stay allocation-free. The zero value
+// is ready to use.
+type EvaluatorPool = core.EvaluatorPool
+
+// NewEvaluatorPool returns an empty evaluator pool.
+func NewEvaluatorPool() *EvaluatorPool { return core.NewEvaluatorPool() }

@@ -1,0 +1,88 @@
+package probcons_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/probcons"
+)
+
+// TestEvaluatorMatchesAnalyze pins the facade: a reused evaluator answers
+// exactly like the one-shot API across differently-shaped queries.
+func TestEvaluatorMatchesAnalyze(t *testing.T) {
+	e := probcons.NewEvaluator()
+	for _, q := range []struct {
+		n int
+		p float64
+	}{{3, 0.01}, {9, 0.08}, {5, 0.02}} {
+		fleet := probcons.CrashFleet(q.n, q.p)
+		m := probcons.NewRaft(q.n)
+		got, err := e.Analyze(fleet, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := probcons.Analyze(fleet, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("N=%d p=%g: evaluator %+v != analyze %+v", q.n, q.p, got, want)
+		}
+	}
+}
+
+// TestEvaluatorZeroAllocs pins the embedder-visible contract: a warmed
+// evaluator analyzes without allocating.
+func TestEvaluatorZeroAllocs(t *testing.T) {
+	e := probcons.NewEvaluator()
+	fleet := probcons.CrashFleet(15, 0.03)
+	// Hoist the interface conversion so the measured loop is pure engine.
+	m := core.CountModel(probcons.NewRaft(15))
+	if _, err := e.Analyze(fleet, m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := e.Analyze(fleet, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm Evaluator.Analyze allocates %v/op, want 0", n)
+	}
+}
+
+// TestEvaluatorPoolConcurrent exercises the pool from many goroutines;
+// run under -race in CI this pins workspace isolation at the facade.
+func TestEvaluatorPoolConcurrent(t *testing.T) {
+	pool := probcons.NewEvaluatorPool()
+	fleet := probcons.CrashFleet(7, 0.04)
+	m := probcons.NewRaft(7)
+	want, err := probcons.Analyze(fleet, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				got, err := pool.Analyze(fleet, m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
