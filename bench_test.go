@@ -924,6 +924,135 @@ func BenchmarkEvaluatorUniformNSweep(b *testing.B) {
 	})
 }
 
+// domainBenchLayout is the N=9, D=3 correlated layout the domain-engine
+// benchmarks share: three zones of three nodes with distinct shock
+// probabilities and multipliers, the shape of the paper's §2(3)
+// correlated-failure discussion.
+func domainBenchLayout() (core.Fleet, core.CountModel, core.DomainSet) {
+	domains := core.DomainSet{
+		{Name: "za", ShockProb: 0.02, CrashMultiplier: 12, ByzMultiplier: 3},
+		{Name: "zb", ShockProb: 0.005, CrashMultiplier: 8, ByzMultiplier: 1},
+		{Name: "zc", ShockProb: 0.05, CrashMultiplier: 20, ByzMultiplier: 5},
+	}
+	fleet := core.UniformCrashFleet(9, 0.004)
+	for i := range fleet {
+		fleet[i].Domain = domains[i%3].Name
+	}
+	return fleet, core.CountModel(core.NewRaft(9)), domains
+}
+
+// domainSweepShocks is the 64-point shock schedule of the domain sweep
+// benchmarks: only domains[0].ShockProb moves, which is the exact shape
+// of an optimizer line search or a what-if dashboard slider.
+func domainSweepShocks() []float64 {
+	shocks := make([]float64, 64)
+	for i := range shocks {
+		shocks[i] = 0.001 + 0.0005*float64(i)
+	}
+	return shocks
+}
+
+// BenchmarkDomainSweepShockFresh is the pre-cache baseline: every point
+// of the 64-point shock sweep recombines the correlated mixture from
+// scratch through the package reference engine — 7 joint builds per
+// point, 448 per sweep.
+func BenchmarkDomainSweepShockFresh(b *testing.B) {
+	fleet, m, domains := domainBenchLayout()
+	shocks := domainSweepShocks()
+	ds := append(core.DomainSet(nil), domains...)
+	b.ReportAllocs()
+	start := dist.JointBuilds()
+	for i := 0; i < b.N; i++ {
+		for _, s := range shocks {
+			ds[0].ShockProb = s
+			if _, err := core.AnalyzeDomainsMixture(fleet, m, ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(dist.JointBuilds()-start)/float64(b.N), "builds/op")
+}
+
+// BenchmarkDomainSweepShockCached runs the same 64-point sweep on one
+// evaluator: the shock probability is a mixture weight, so after the cold
+// point every later point is a leave-one-block-out fast-path answer —
+// the whole sweep costs the cold point's 7 builds and not one more.
+func BenchmarkDomainSweepShockCached(b *testing.B) {
+	fleet, m, domains := domainBenchLayout()
+	shocks := domainSweepShocks()
+	ds := append(core.DomainSet(nil), domains...)
+	ev := core.NewEvaluator()
+	if _, err := ev.AnalyzeDomains(fleet, m, ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := dist.JointBuilds()
+	for i := 0; i < b.N; i++ {
+		for _, s := range shocks {
+			ds[0].ShockProb = s
+			if _, err := ev.AnalyzeDomains(fleet, m, ds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(dist.JointBuilds()-start)/float64(b.N), "builds/op")
+}
+
+// BenchmarkEvaluatorDomainsHot measures the repeat-query path: the exact
+// same correlated query answered from the evaluator's result memo —
+// the L0 cost a serving layer pays when its own caches miss but the
+// engine's do not.
+func BenchmarkEvaluatorDomainsHot(b *testing.B) {
+	fleet, m, domains := domainBenchLayout()
+	ev := core.NewEvaluator()
+	if _, err := ev.AnalyzeDomains(fleet, m, domains); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.AnalyzeDomains(fleet, m, domains); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluatorDomainsN128Shock measures the incremental cost of a
+// shock perturbation at serving scale — N=128 across 8 domains, where a
+// from-scratch recombination is ~10^8 DP cell updates but a shock-only
+// change re-mixes one cached block against cached rest tables.
+func BenchmarkEvaluatorDomainsN128Shock(b *testing.B) {
+	const n, d = 128, 8
+	domains := make(core.DomainSet, d)
+	for i := range domains {
+		domains[i] = faultcurve.Domain{
+			Name:            fmt.Sprintf("z%d", i),
+			ShockProb:       0.01,
+			CrashMultiplier: 10,
+			ByzMultiplier:   1,
+		}
+	}
+	fleet := core.UniformCrashFleet(n, 0.01)
+	for i := range fleet {
+		fleet[i].Domain = domains[i%d].Name
+	}
+	m := core.CountModel(core.NewRaft(n))
+	ev := core.NewEvaluator()
+	ds := append(core.DomainSet(nil), domains...)
+	if _, err := ev.AnalyzeDomains(fleet, m, ds); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds[0].ShockProb = 0.005 + 0.0001*float64(i%100)
+		if _, err := ev.AnalyzeDomains(fleet, m, ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // quorumSweepFleet is the N=9 heterogeneous fleet the quorum-sweep
 // benchmarks share.
 func quorumSweepFleet() core.Fleet {

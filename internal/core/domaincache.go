@@ -1,0 +1,561 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// This file is the incremental correlated-domain engine: the per-domain
+// block cache and leave-one-block-out rest tables that let an Evaluator
+// answer a stream of related domain queries — shock sweeps, optimizer
+// gradient probes, hardening line searches — without rebuilding the DPs a
+// query did not change. See DESIGN.md "Correlated-domain block cache".
+//
+// Three layers, cheapest first:
+//
+//  1. Rest-table fast path. For a populated domain d, rest_d is the joint
+//     distribution of every node OUTSIDE d. Folding the model's predicates
+//     through rest_d once yields three (k_d+1)^2 tables
+//     (safe/live/both)[cd][bd] = P[predicate | d contributes (cd, bd)].
+//     Any later query that differs from the cached layout ONLY inside d —
+//     its shock probability, its multipliers, its members' profiles — is
+//     answered by mixing d's two block DPs and taking an O(k_d^2) dot
+//     product against the tables. Zero joint builds for a pure shock
+//     change; two k_d-sized block builds for a member change.
+//  2. Block cache. Per-domain base and elevated (and the independent
+//     remainder's) joint DPs, keyed by the exact IEEE-754 bits of the
+//     member profiles (and shock multipliers for elevated blocks). A full
+//     recombination convolves cached blocks instead of rebuilding them.
+//  3. Full path. Cache-missing blocks are built from scratch (counted by
+//     dist.JointBuilds), the prefix/suffix convolution chains produce the
+//     query answer AND every domain's rest table, so the next related
+//     query takes path 1.
+//
+// Keying rules (the correctness contract):
+//
+//   - Block keys hash the sorted member (PCrash, PByz) bit pairs — block
+//     DPs are permutation-invariant — plus the crash/byz multiplier bits
+//     for elevated blocks. Shock probability is NOT part of a block key:
+//     shocks enter only through mixture weights.
+//   - Rest keys for domain d hash the model parameters, d's member count,
+//     the independent nodes' profile bits, and every OTHER populated
+//     domain's (shock, multipliers, member profile bits) — everything the
+//     rest tables depend on and nothing about d itself beyond its size, so
+//     perturbing d never invalidates rest_d.
+//
+// All workspaces live on the owning Evaluator: no locks, no sharing, zero
+// steady-state allocations on the cached paths (pinned by
+// TestAnalyzeDomainsZeroAllocs).
+
+// blockKeyDomain versions the cache-key encoding, separate from the query
+// fingerprint domain so the two key spaces can never collide.
+const blockKeyDomain = "probcons-block-v1"
+
+// Cache caps: simple clear-on-overflow bounds. A sweep or optimizer run
+// touches a handful of layouts; the caps only guard against adversarial
+// query streams growing the maps without bound.
+const (
+	maxBlockCacheEntries  = 1024
+	maxRestCacheEntries   = 256
+	maxResultCacheEntries = 4096
+)
+
+type blockKey = [sha256.Size]byte
+
+// DomainCacheStats counts the evaluator domain-cache traffic — the
+// companion of dist.JointBuilds for proving block reuse in tests and
+// benchmarks.
+type DomainCacheStats struct {
+	// BlockHits / BlockMisses count base/elevated/independent block-DP
+	// lookups. A miss is one from-scratch dist build of that block.
+	BlockHits, BlockMisses int64
+	// RestHits count queries answered by the leave-one-block-out fast
+	// path; RestMisses count full recombinations.
+	RestHits, RestMisses int64
+	// ResultHits count exact-repeat queries answered from the result
+	// memo — bit-identical to the first computation, by construction.
+	ResultHits int64
+}
+
+// restTables is the leave-one-block-out summary for one populated domain:
+// the model's predicates folded through the joint distribution of every
+// node outside the domain. Entry [cd*(k+1)+bd] is the probability the
+// predicate holds given the domain contributes exactly (cd, bd) faults.
+type restTables struct {
+	k                int
+	safe, live, both []float64
+}
+
+// domainState is the Evaluator's correlated-domain workspace: reusable
+// partition scratch, cache maps, and the DP workspaces of the
+// recombination chains.
+type domainState struct {
+	// Partition scratch, refilled per query without allocating.
+	byName map[string]int
+	indep  []int
+	blocks [][]int
+	act    []int // populated domain indices, DomainSet order
+
+	keyBuf   []byte
+	restKeys []blockKey
+	tri      []dist.TriState
+
+	blockCache  map[blockKey]*dist.JointCrashByz
+	restCache   map[blockKey]*restTables
+	resultCache map[blockKey]Result
+
+	// Recombination workspaces: mixed[j] is domain j's shock-weighted
+	// block, prefix[j] the running convolution through domain j, suffix[j]
+	// the convolution of domains j..D-1; rest holds one leave-one-out
+	// product. Pointer slices let chain entries alias cached tables.
+	mixed     []dist.JointCrashByz
+	prefix    []dist.JointCrashByz
+	suffix    []dist.JointCrashByz
+	rest      dist.JointCrashByz
+	fastMix   dist.JointCrashByz
+	prefixPtr []*dist.JointCrashByz
+	suffixPtr []*dist.JointCrashByz
+
+	// Predicate grids over the full (c, b) fleet range, filled once per
+	// full-path query so rest-table population never calls the model's
+	// predicates per source cell.
+	okSafe, okLive []bool
+
+	stats DomainCacheStats
+}
+
+func (ds *domainState) maybeEvict() {
+	if len(ds.blockCache) > maxBlockCacheEntries {
+		clear(ds.blockCache)
+	}
+	if len(ds.restCache) > maxRestCacheEntries {
+		clear(ds.restCache)
+	}
+	if len(ds.resultCache) > maxResultCacheEntries {
+		clear(ds.resultCache)
+	}
+}
+
+// prepare validates the domain layout against the fleet and partitions the
+// node indices into ds.indep / ds.blocks / ds.act, reusing all scratch.
+// Validation matches DomainSet.Validate exactly (same rejections, same
+// wording) but shares the partition's name index instead of building a
+// second map.
+func (ds *domainState) prepare(fleet Fleet, domains DomainSet) error {
+	if ds.byName == nil {
+		ds.byName = make(map[string]int, len(domains))
+	}
+	clear(ds.byName)
+	for i, d := range domains {
+		if err := d.Validate(); err != nil {
+			return fmt.Errorf("core: domain %d: %w", i, err)
+		}
+		if _, dup := ds.byName[d.Name]; dup {
+			return fmt.Errorf("core: duplicate domain name %q", d.Name)
+		}
+		ds.byName[d.Name] = i
+	}
+	ds.indep = ds.indep[:0]
+	for len(ds.blocks) < len(domains) {
+		ds.blocks = append(ds.blocks, nil)
+	}
+	ds.blocks = ds.blocks[:len(domains)]
+	for i := range ds.blocks {
+		ds.blocks[i] = ds.blocks[i][:0]
+	}
+	for i, n := range fleet {
+		if n.Domain == "" {
+			ds.indep = append(ds.indep, i)
+			continue
+		}
+		di, ok := ds.byName[n.Domain]
+		if !ok {
+			return fmt.Errorf("core: node %d (%s) references undefined domain %q", i, n.Name, n.Domain)
+		}
+		ds.blocks[di] = append(ds.blocks[di], i)
+	}
+	ds.act = ds.act[:0]
+	for di, b := range ds.blocks {
+		if len(b) > 0 {
+			ds.act = append(ds.act, di)
+		}
+	}
+	return nil
+}
+
+// baseKey identifies a block DP of the given nodes at their base profiles.
+func (ds *domainState) baseKey(fleet Fleet, idxs []int) blockKey {
+	buf := append(ds.keyBuf[:0], blockKeyDomain...)
+	buf = append(buf, 'B')
+	buf = appendSortedProfileBits(buf, fleet, idxs, false)
+	ds.keyBuf = buf
+	return sha256.Sum256(buf)
+}
+
+// elevKey identifies a block DP of the given nodes under a domain's shock
+// multipliers. The shock probability is deliberately absent: it scales the
+// mixture weights, never the elevated table.
+func (ds *domainState) elevKey(fleet Fleet, idxs []int, d *faultcurve.Domain) blockKey {
+	buf := append(ds.keyBuf[:0], blockKeyDomain...)
+	buf = append(buf, 'E')
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.CrashMultiplier))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.ByzMultiplier))
+	buf = appendSortedProfileBits(buf, fleet, idxs, false)
+	ds.keyBuf = buf
+	return sha256.Sum256(buf)
+}
+
+// restKeyFor identifies the rest tables of the populated domain at
+// position pos of ds.act: model bits, the domain's member count, and the
+// full parameterisation of everything OUTSIDE the domain.
+func (ds *domainState) restKeyFor(fleet Fleet, m CountModel, domains DomainSet, pos int) blockKey {
+	buf := append(ds.keyBuf[:0], blockKeyDomain...)
+	buf = append(buf, 'R')
+	buf = appendModelBits(buf, m)
+	di := ds.act[pos]
+	buf = binary.BigEndian.AppendUint64(buf, uint64(len(ds.blocks[di])))
+	buf = append(buf, 'I')
+	buf = appendSortedProfileBits(buf, fleet, ds.indep, false)
+	for _, dj := range ds.act {
+		if dj == di {
+			continue
+		}
+		d := domains[dj]
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.ShockProb))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.CrashMultiplier))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.ByzMultiplier))
+		buf = appendSortedProfileBits(buf, fleet, ds.blocks[dj], false)
+	}
+	ds.keyBuf = buf
+	return sha256.Sum256(buf)
+}
+
+// resultKey identifies the complete mixture query — model, independent
+// profiles, and every populated domain's full parameterisation — for the
+// result memo. An exact repeat must return a bit-identical Result
+// regardless of what the block/rest caches have absorbed in between, so
+// repeats short-circuit before any cache-state-dependent arithmetic runs.
+func (ds *domainState) resultKey(fleet Fleet, m CountModel, domains DomainSet) blockKey {
+	buf := append(ds.keyBuf[:0], blockKeyDomain...)
+	buf = append(buf, 'Q')
+	buf = appendModelBits(buf, m)
+	buf = append(buf, 'I')
+	buf = appendSortedProfileBits(buf, fleet, ds.indep, false)
+	for _, dj := range ds.act {
+		d := domains[dj]
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.ShockProb))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.CrashMultiplier))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(d.ByzMultiplier))
+		buf = appendSortedProfileBits(buf, fleet, ds.blocks[dj], false)
+	}
+	ds.keyBuf = buf
+	return sha256.Sum256(buf)
+}
+
+// blockFor returns the joint DP of the given nodes — at base profiles when
+// elevate is nil, else shock-elevated — from the block cache, building and
+// caching it on a miss. Cached tables are immutable once inserted.
+func (ds *domainState) blockFor(fleet Fleet, idxs []int, elevate *faultcurve.Domain) *dist.JointCrashByz {
+	var key blockKey
+	if elevate == nil {
+		key = ds.baseKey(fleet, idxs)
+	} else {
+		key = ds.elevKey(fleet, idxs, elevate)
+	}
+	if ds.blockCache == nil {
+		ds.blockCache = make(map[blockKey]*dist.JointCrashByz)
+	}
+	if j, ok := ds.blockCache[key]; ok && j.N() == len(idxs) {
+		ds.stats.BlockHits++
+		return j
+	}
+	ds.stats.BlockMisses++
+	ds.tri = ds.tri[:0]
+	for _, i := range idxs {
+		p := fleet[i].Profile
+		if elevate != nil {
+			p = elevate.Elevate(p)
+		}
+		ds.tri = append(ds.tri, p.TriState())
+	}
+	j := dist.NewJointCrashByz(ds.tri)
+	ds.blockCache[key] = j
+	return j
+}
+
+// mixedInto writes domain pos's shock-weighted block into dst from cached
+// (or freshly built) base and elevated blocks.
+func (ds *domainState) mixedInto(dst *dist.JointCrashByz, fleet Fleet, domains DomainSet, di int) error {
+	d := domains[di]
+	idxs := ds.blocks[di]
+	base := ds.blockFor(fleet, idxs, nil)
+	elev := ds.blockFor(fleet, idxs, &d)
+	s := dist.Clamp01(d.ShockProb)
+	return dist.MixJointCrashByzInto(dst, base, elev, 1-s, s)
+}
+
+func growJoints(s []dist.JointCrashByz, n int) []dist.JointCrashByz {
+	for len(s) < n {
+		s = append(s, dist.JointCrashByz{})
+	}
+	return s
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growFloat64s(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// fillPredGrids evaluates the model's predicates once per (c, b) cell of
+// the full fleet range so the rest-table population loops are pure array
+// arithmetic.
+func (ds *domainState) fillPredGrids(n int, m CountModel) {
+	w := n + 1
+	ds.okSafe = growBools(ds.okSafe, w*w)
+	ds.okLive = growBools(ds.okLive, w*w)
+	for c := 0; c <= n; c++ {
+		row := c * w
+		for b := 0; c+b <= n; b++ {
+			ds.okSafe[row+b] = m.Safe(c, b)
+			ds.okLive[row+b] = m.Live(c, b)
+		}
+	}
+}
+
+// populate folds the predicate grids through the rest distribution r (over
+// n-k nodes of an n-node fleet): entry (cd, bd) becomes the probability
+// mass of rest outcomes under which the predicate holds when the domain
+// contributes (cd, bd). Compensated per entry, so the fast-path answer
+// matches a full recombination to ~1e-15.
+func (rt *restTables) populate(r *dist.JointCrashByz, k, n int, okSafe, okLive []bool) {
+	w := k + 1
+	rt.k = k
+	rt.safe = growFloat64s(rt.safe, w*w)
+	rt.live = growFloat64s(rt.live, w*w)
+	rt.both = growFloat64s(rt.both, w*w)
+	nr := r.N()
+	gw := n + 1
+	for cd := 0; cd <= k; cd++ {
+		for bd := 0; bd <= k; bd++ {
+			i := cd*w + bd
+			if cd+bd > k {
+				rt.safe[i], rt.live[i], rt.both[i] = 0, 0, 0
+				continue
+			}
+			var sS, sL, sB dist.KahanSum
+			for c := 0; c <= nr; c++ {
+				g := (c + cd) * gw
+				for b := 0; c+b <= nr; b++ {
+					mass := r.PMF(c, b)
+					if mass == 0 {
+						continue
+					}
+					gi := g + b + bd
+					s, l := okSafe[gi], okLive[gi]
+					if s {
+						sS.Add(mass)
+					}
+					if l {
+						sL.Add(mass)
+					}
+					if s && l {
+						sB.Add(mass)
+					}
+				}
+			}
+			rt.safe[i], rt.live[i], rt.both[i] = sS.Sum(), sL.Sum(), sB.Sum()
+		}
+	}
+}
+
+// dot answers a query from one domain's mixed block and its rest tables:
+// Result = Σ_{cd,bd} P[block = (cd, bd)] · P[predicate | (cd, bd)].
+func (rt *restTables) dot(mixed *dist.JointCrashByz) Result {
+	k := rt.k
+	w := k + 1
+	var sS, sL, sB dist.KahanSum
+	for cd := 0; cd <= k; cd++ {
+		for bd := 0; cd+bd <= k; bd++ {
+			mass := mixed.PMF(cd, bd)
+			if mass == 0 {
+				continue
+			}
+			i := cd*w + bd
+			sS.Add(mass * rt.safe[i])
+			sL.Add(mass * rt.live[i])
+			sB.Add(mass * rt.both[i])
+		}
+	}
+	return Result{
+		Safe:        dist.Clamp01(sS.Sum()),
+		Live:        dist.Clamp01(sL.Sum()),
+		SafeAndLive: dist.Clamp01(sB.Sum()),
+	}
+}
+
+// analyzeDomainsMixture is the evaluator's cached mixture engine. The
+// caller has validated the query and filled ds via prepare; ds.act is
+// non-empty. The full (cache-cold) path performs exactly the package
+// AnalyzeDomainsMixture's operations in the same order — identical
+// results — and additionally populates every domain's rest tables from
+// the prefix/suffix chains so related follow-up queries take the
+// fast path.
+func (e *Evaluator) analyzeDomainsMixture(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	ds := e.dom
+	ds.maybeEvict()
+	if ds.restCache == nil {
+		ds.restCache = make(map[blockKey]*restTables)
+	}
+	if ds.resultCache == nil {
+		ds.resultCache = make(map[blockKey]Result)
+	}
+	n := len(fleet)
+	D := len(ds.act)
+
+	// Exact repeats return the memoized Result before any cache-state-
+	// dependent arithmetic: equal queries answer bit-identically whether
+	// the caches were cold or warm (the query-fingerprint determinism
+	// contract the serving layer's caches rely on).
+	qkey := ds.resultKey(fleet, m, domains)
+	if r, ok := ds.resultCache[qkey]; ok {
+		ds.stats.ResultHits++
+		return r, nil
+	}
+
+	// Fast path: the first populated domain whose rest tables survive from
+	// an earlier query answers in O(k^2) after at most two block builds.
+	ds.restKeys = ds.restKeys[:0]
+	for pos, di := range ds.act {
+		key := ds.restKeyFor(fleet, m, domains, pos)
+		ds.restKeys = append(ds.restKeys, key)
+		rt, ok := ds.restCache[key]
+		if !ok || rt.k != len(ds.blocks[di]) {
+			continue
+		}
+		if err := ds.mixedInto(&ds.fastMix, fleet, domains, di); err != nil {
+			return Result{}, err
+		}
+		ds.stats.RestHits++
+		r := rt.dot(&ds.fastMix)
+		ds.resultCache[qkey] = r
+		return r, nil
+	}
+	ds.stats.RestMisses++
+
+	// Full path: recombine cached/rebuilt blocks. Grow chain workspaces
+	// before taking pointers into them.
+	ds.mixed = growJoints(ds.mixed, D)
+	ds.prefix = growJoints(ds.prefix, D)
+	ds.suffix = growJoints(ds.suffix, D)
+	ds.prefixPtr = ds.prefixPtr[:0]
+	ds.suffixPtr = ds.suffixPtr[:0]
+
+	// prefixPtr[j] is the joint of the independent remainder plus domains
+	// 0..j-1; the query answer is prefixPtr[D]'s predicate sums.
+	ds.prefixPtr = append(ds.prefixPtr, ds.blockFor(fleet, ds.indep, nil))
+	for pos, di := range ds.act {
+		if err := ds.mixedInto(&ds.mixed[pos], fleet, domains, di); err != nil {
+			return Result{}, err
+		}
+		dist.ConvolveJointCrashByzInto(&ds.prefix[pos], ds.prefixPtr[pos], &ds.mixed[pos])
+		ds.prefixPtr = append(ds.prefixPtr, &ds.prefix[pos])
+	}
+	result := resultFromJointModel(ds.prefixPtr[D], m)
+
+	// Rest tables for every domain via the suffix chain: suffixPtr[j] is
+	// the joint of domains j..D-1, so rest_pos = prefix[pos] ⊛
+	// suffix[pos+1] (for the last domain, just prefix[D-1]).
+	ds.suffixPtr = growJointPtrs(ds.suffixPtr, D)
+	ds.suffixPtr[D-1] = &ds.mixed[D-1]
+	for pos := D - 2; pos >= 0; pos-- {
+		dist.ConvolveJointCrashByzInto(&ds.suffix[pos], &ds.mixed[pos], ds.suffixPtr[pos+1])
+		ds.suffixPtr[pos] = &ds.suffix[pos]
+	}
+	ds.fillPredGrids(n, m)
+	for pos, di := range ds.act {
+		restJ := ds.prefixPtr[pos]
+		if pos < D-1 {
+			dist.ConvolveJointCrashByzInto(&ds.rest, ds.prefixPtr[pos], ds.suffixPtr[pos+1])
+			restJ = &ds.rest
+		}
+		rt := ds.restCache[ds.restKeys[pos]]
+		if rt == nil {
+			rt = &restTables{}
+		}
+		rt.populate(restJ, len(ds.blocks[di]), n, ds.okSafe, ds.okLive)
+		ds.restCache[ds.restKeys[pos]] = rt
+	}
+	ds.resultCache[qkey] = result
+	return result, nil
+}
+
+func growJointPtrs(s []*dist.JointCrashByz, n int) []*dist.JointCrashByz {
+	for len(s) < n {
+		s = append(s, nil)
+	}
+	return s[:n]
+}
+
+// analyzeDomainsConditioned is the evaluator's 2^D engine: identical
+// per-mask arithmetic to the package AnalyzeDomainsConditioned, run
+// through the evaluator's tri-state and joint workspaces so a warm
+// evaluator conditions without allocating. Large-N per-mask rebuilds
+// parallelize inside dist.Reset.
+func (e *Evaluator) analyzeDomainsConditioned(fleet Fleet, m CountModel, domains DomainSet) (Result, error) {
+	ds := e.dom
+	d := len(ds.act)
+	if d > maxConditionedDomains {
+		return Result{}, fmt.Errorf("core: %d populated domains exceed the 2^D engine's maximum %d (use AnalyzeDomainsMixture)", d, maxConditionedDomains)
+	}
+	var sSafe, sLive, sBoth dist.KahanSum
+	for mask := 0; mask < 1<<d; mask++ {
+		weight := 1.0
+		for bit, di := range ds.act {
+			s := dist.Clamp01(domains[di].ShockProb)
+			if mask&(1<<bit) != 0 {
+				weight *= s
+			} else {
+				weight *= 1 - s
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		e.tri = e.tri[:0]
+		for _, n := range fleet {
+			e.tri = append(e.tri, n.Profile.TriState())
+		}
+		for bit, di := range ds.act {
+			if mask&(1<<bit) == 0 {
+				continue
+			}
+			for _, i := range ds.blocks[di] {
+				e.tri[i] = domains[di].Elevate(fleet[i].Profile).TriState()
+			}
+		}
+		e.joint.Reset(e.tri)
+		cond := resultFromJointModel(&e.joint, m)
+		sSafe.Add(weight * cond.Safe)
+		sLive.Add(weight * cond.Live)
+		sBoth.Add(weight * cond.SafeAndLive)
+	}
+	return Result{
+		Safe:        dist.Clamp01(sSafe.Sum()),
+		Live:        dist.Clamp01(sLive.Sum()),
+		SafeAndLive: dist.Clamp01(sBoth.Sum()),
+	}, nil
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+)
+
+// TestEvaluatorDomainsCachedMatchesReference cycles one warm evaluator
+// through a stream of related domain queries — shock changes, member
+// hardening, multiplier changes, model changes — and pins every answer
+// against the throwaway reference engines at 1e-12, while requiring that
+// the stream actually exercised the rest-table fast path.
+func TestEvaluatorDomainsCachedMatchesReference(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+	e := NewEvaluator()
+
+	check := func(tag string, f Fleet, ds DomainSet) {
+		t.Helper()
+		got, err := e.AnalyzeDomains(f, m, ds)
+		if err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+		mix, err := AnalyzeDomainsMixture(f, m, ds)
+		if err != nil {
+			t.Fatalf("%s: reference mixture: %v", tag, err)
+		}
+		cond, err := AnalyzeDomainsConditioned(f, m, ds)
+		if err != nil {
+			t.Fatalf("%s: reference conditioned: %v", tag, err)
+		}
+		resultsClose(t, tag+" vs mixture", got, mix, 1e-12)
+		resultsClose(t, tag+" vs conditioned", got, cond, 1e-12)
+	}
+
+	check("cold", fleet, domains)
+
+	// Shock-only change in one domain: rest tables and all blocks hit.
+	ds2 := append(DomainSet(nil), domains...)
+	ds2[1].ShockProb = 0.2
+	check("shock change", fleet, ds2)
+
+	// Multiplier change in one domain: rest tables hit, elevated block of
+	// that domain rebuilt.
+	ds3 := append(DomainSet(nil), domains...)
+	ds3[2].CrashMultiplier = 35
+	check("multiplier change", fleet, ds3)
+
+	// Member hardening inside one domain: its rest tables still hit.
+	f2 := append(Fleet(nil), fleet...)
+	f2[4].Profile = faultcurve.Profile{PCrash: 0.003, PByz: 0.0001}
+	check("member change", fleet, domains)
+	check("member change applied", f2, domains)
+
+	// Independent-node change: every rest key misses, full recombination.
+	f3 := append(Fleet(nil), fleet...)
+	f3[0].Domain = ""
+	check("layout change", f3, domains)
+
+	st := e.DomainCacheStats()
+	if st.RestHits == 0 {
+		t.Fatalf("query stream never hit the rest-table fast path: %+v", st)
+	}
+	if st.BlockHits == 0 {
+		t.Fatalf("query stream never hit the block cache: %+v", st)
+	}
+}
+
+// TestEvaluatorDomainsColdMatchesPackageExactly pins that the evaluator's
+// full (cache-cold) recombination performs the package mixture engine's
+// exact floating-point operations: results are bit-identical, not merely
+// close.
+func TestEvaluatorDomainsColdMatchesPackageExactly(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+	want, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEvaluator().AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("cold evaluator result differs from package mixture:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestAnalyzeDomainsBlockReuse is the counter pin for the tentpole claim:
+// a 64-point shock sweep over one domain performs the cold query's block
+// builds once and then ZERO further from-scratch joint builds — against
+// 64 independent rebuild sets (7 per point at D=3) for the uncached
+// engine, far beyond the required 10x.
+func TestAnalyzeDomainsBlockReuse(t *testing.T) {
+	fleet, domains := domainFleet9()
+	m := NewRaft(9)
+	e := NewEvaluator()
+
+	start := dist.JointBuilds()
+	ds := append(DomainSet(nil), domains...)
+	for i := 0; i < 64; i++ {
+		ds[0].ShockProb = 0.001 + 0.002*float64(i)
+		if _, err := e.AnalyzeDomains(fleet, m, ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	builds := dist.JointBuilds() - start
+
+	// Cold query: 1 independent-remainder block (empty here, still one
+	// unit-table build) + 3 domains × (base, elevated) = 7. Every later
+	// sweep point changes only a mixture weight: all blocks hit.
+	const coldBuilds = 7
+	if builds > coldBuilds {
+		t.Fatalf("64-point shock sweep performed %d joint builds, want <= %d", builds, coldBuilds)
+	}
+	fresh := int64(64 * coldBuilds)
+	if builds*10 > fresh {
+		t.Fatalf("sweep builds %d not >= 10x fewer than fresh %d", builds, fresh)
+	}
+
+	st := e.DomainCacheStats()
+	if st.RestHits < 63 {
+		t.Fatalf("expected >= 63 rest-table fast-path hits, got %+v", st)
+	}
+}
+
+// TestAnalyzeDomainsZeroAllocs mirrors TestEvaluatorAnalyzeZeroAllocs for
+// the correlated path (the satellite bugfix: package AnalyzeDomains runs
+// on pooled evaluators): once warm, a repeated domain query allocates
+// nothing — partition scratch, cache keys, block lookups, the mixture and
+// the rest-table dot product all reuse evaluator-owned memory.
+func TestAnalyzeDomainsZeroAllocs(t *testing.T) {
+	fleet, domains := domainFleet9()
+	// Box the model once: passing a concrete Raft would allocate the
+	// interface value per call and mask the engine's own behaviour.
+	m := CountModel(NewRaft(9))
+	e := NewEvaluator()
+	if _, err := e.AnalyzeDomains(fleet, m, domains); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.AnalyzeDomains(fleet, m, domains); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm evaluator AnalyzeDomains allocates %v/op, want 0", allocs)
+	}
+
+	// The package-level entry point rides the shared pool: steady state is
+	// allocation-free there too. (sync.Pool drops items on purpose under
+	// the race detector, so the pooled pin only holds without it.)
+	if raceEnabled {
+		return
+	}
+	if _, err := AnalyzeDomains(fleet, m, domains); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := AnalyzeDomains(fleet, m, domains); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("package AnalyzeDomains allocates %v/op in steady state, want 0", allocs)
+	}
+}
+
+// TestDomainsEstimateMatchesDispatch pins the satellite bugfix: the work
+// estimate the serving layer admits queries under is the cost of the
+// engine AnalyzeDomains actually dispatches to, and it upper-bounds the
+// measured from-scratch build count on both engines.
+func TestDomainsEstimateMatchesDispatch(t *testing.T) {
+	// Layout 1: many small domains — the mixture engine.
+	fleet, domains := domainFleet9()
+	_, blocks := domains.partition(fleet)
+	engine, work := chooseDomainEngine(len(fleet), blocks)
+	if engine != engineMixture {
+		t.Fatalf("domainFleet9 dispatched to engine %d, want mixture", engine)
+	}
+	if est := DomainsWorkEstimate(fleet, domains); est != work {
+		t.Fatalf("estimate %g != dispatched engine work %g", est, work)
+	}
+	start := dist.JointBuilds()
+	if _, err := NewEvaluator().AnalyzeDomains(fleet, NewRaft(9), domains); err != nil {
+		t.Fatal(err)
+	}
+	if builds := float64(dist.JointBuilds() - start); builds > work {
+		t.Fatalf("mixture: measured %v builds exceed estimate %v", builds, work)
+	}
+
+	// Layout 2: two huge domains — the 2^D conditioned engine (the k^4
+	// convolution term dwarfs 4·N^3 conditioning even with the mixture
+	// engine's dispatch bias).
+	const n = 300
+	bigFleet := make(Fleet, n)
+	for i := range bigFleet {
+		name := "left"
+		if i >= n/2 {
+			name = "right"
+		}
+		bigFleet[i] = Node{
+			Name:    name,
+			Profile: faultcurve.Profile{PCrash: 0.01, PByz: 0.001},
+			Domain:  name,
+		}
+	}
+	bigDomains := DomainSet{
+		{Name: "left", ShockProb: 0.01, CrashMultiplier: 5, ByzMultiplier: 2},
+		{Name: "right", ShockProb: 0.02, CrashMultiplier: 3, ByzMultiplier: 1},
+	}
+	_, blocks = bigDomains.partition(bigFleet)
+	engine, work = chooseDomainEngine(n, blocks)
+	if engine != engineConditioned {
+		t.Fatalf("two-halves fleet dispatched to engine %d, want conditioned", engine)
+	}
+	if est := DomainsWorkEstimate(bigFleet, bigDomains); est != work {
+		t.Fatalf("estimate %g != dispatched engine work %g", est, work)
+	}
+	start = dist.JointBuilds()
+	got, err := NewEvaluator().AnalyzeDomains(bigFleet, NewRaft(n), bigDomains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := dist.JointBuilds() - start
+	if builds != 4 {
+		t.Fatalf("conditioned D=2 performed %d builds, want 2^2 = 4", builds)
+	}
+	if float64(builds) > work {
+		t.Fatalf("conditioned: measured %v builds exceed estimate %v", builds, work)
+	}
+	// And the conditioned workspace engine matches its reference oracle.
+	want, err := AnalyzeDomainsConditioned(bigFleet, NewRaft(n), bigDomains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "workspace conditioned vs reference", got, want, 1e-12)
+}
+
+// TestEvaluatorDomainsLargeFleet exercises the correlated path at the
+// sizes the ROADMAP called a wall: the dispatcher prices an N=256, D=8
+// layout far under the serving work bound, and an N=128 query stream runs
+// the parallel row-split (width >= dist.ParallelRowThreshold) with the
+// incremental follow-up answered from rest tables with zero new builds.
+func TestEvaluatorDomainsLargeFleet(t *testing.T) {
+	mkFleet := func(n, d int) (Fleet, DomainSet) {
+		fleet := make(Fleet, n)
+		domains := make(DomainSet, d)
+		for j := range domains {
+			domains[j] = faultcurve.Domain{
+				Name:            string(rune('a' + j)),
+				ShockProb:       0.01 + 0.001*float64(j),
+				CrashMultiplier: 4,
+				ByzMultiplier:   2,
+			}
+		}
+		for i := range fleet {
+			fleet[i] = Node{
+				Name:    string(rune('a'+i%d)) + "-node",
+				Profile: faultcurve.Profile{PCrash: 0.01 + 0.0001*float64(i%5), PByz: 0.0002},
+				Domain:  domains[i%d].Name,
+			}
+		}
+		return fleet, domains
+	}
+
+	// N=256, D=8: admissible under the serving layer's 2e10 work bound.
+	fleet256, domains256 := mkFleet(256, 8)
+	if est := DomainsWorkEstimate(fleet256, domains256); est >= 2e10 {
+		t.Fatalf("N=256 D=8 estimate %g not under the 2e10 serving bound", est)
+	}
+
+	// N=128, D=8: run it. Cold query, then a shock perturbation.
+	fleet, domains := mkFleet(128, 8)
+	m := NewRaft(128)
+	e := NewEvaluator()
+	got, err := e.AnalyzeDomains(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := AnalyzeDomainsMixture(fleet, m, domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "N=128 cold vs reference", got, want, 1e-12)
+
+	ds2 := append(DomainSet(nil), domains...)
+	ds2[3].ShockProb = 0.2
+	start := dist.JointBuilds()
+	got2, err := e.AnalyzeDomains(fleet, m, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builds := dist.JointBuilds() - start; builds != 0 {
+		t.Fatalf("shock-perturbed N=128 query performed %d builds, want 0", builds)
+	}
+	want2, err := AnalyzeDomainsMixture(fleet, m, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsClose(t, "N=128 incremental vs reference", got2, want2, 1e-12)
+}
+
+// TestEvaluatorDomainsValidation pins that the workspace engine rejects
+// exactly what the package validation rejects.
+func TestEvaluatorDomainsValidation(t *testing.T) {
+	fleet, domains := domainFleet9()
+	e := NewEvaluator()
+
+	if _, err := e.AnalyzeDomains(fleet, NewRaft(5), domains); err == nil {
+		t.Fatal("size-mismatched model accepted")
+	}
+
+	bad := append(DomainSet(nil), domains...)
+	bad[1].Name = bad[0].Name
+	if _, err := e.AnalyzeDomains(fleet, NewRaft(9), bad); err == nil {
+		t.Fatal("duplicate domain name accepted")
+	}
+
+	orphan := append(Fleet(nil), fleet...)
+	orphan[2].Domain = "no-such-zone"
+	if _, err := e.AnalyzeDomains(orphan, NewRaft(9), domains); err == nil {
+		t.Fatal("undefined domain reference accepted")
+	}
+
+	shockless := append(DomainSet(nil), domains...)
+	shockless[0].ShockProb = 1.5
+	if _, err := e.AnalyzeDomains(fleet, NewRaft(9), shockless); err == nil {
+		t.Fatal("out-of-range shock accepted")
+	}
+}

@@ -83,29 +83,12 @@ func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) 
 	buf := make([]byte, 0, 128+16*len(fleet)+56*len(domains))
 	buf = append(buf, fingerprintDomain...)
 
+	buf = appendModelBits(buf, m)
+
 	appendU64 := func(v uint64) { buf = binary.BigEndian.AppendUint64(buf, v) }
 	appendStr := func(s string) {
 		appendU64(uint64(len(s)))
 		buf = append(buf, s...)
-	}
-
-	switch mm := m.(type) {
-	case Raft:
-		appendStr("raft")
-		appendU64(uint64(mm.NNodes))
-		appendU64(uint64(mm.QPer))
-		appendU64(uint64(mm.QVC))
-	case PBFT:
-		appendStr("pbft")
-		appendU64(uint64(mm.NNodes))
-		appendU64(uint64(mm.QEq))
-		appendU64(uint64(mm.QPer))
-		appendU64(uint64(mm.QVC))
-		appendU64(uint64(mm.QVCT))
-	default:
-		appendStr("model")
-		appendU64(uint64(m.N()))
-		appendStr(m.Name())
 	}
 
 	// Sorted (PCrash, PByz) bit pairs of the independent nodes:
@@ -150,6 +133,37 @@ func FleetModelDomainsFingerprint(fleet Fleet, m CountModel, domains DomainSet) 
 		}
 	}
 	return sha256.Sum256(buf), nil
+}
+
+// appendModelBits appends the canonical encoding of a CountModel — its
+// protocol tag plus every quorum parameter. Shared by the query
+// fingerprint and the evaluator's rest-table cache keys, so the two can
+// never disagree about what identifies a model.
+func appendModelBits(buf []byte, m CountModel) []byte {
+	appendU64 := func(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+	appendStr := func(b []byte, s string) []byte {
+		b = appendU64(b, uint64(len(s)))
+		return append(b, s...)
+	}
+	switch mm := m.(type) {
+	case Raft:
+		buf = appendStr(buf, "raft")
+		buf = appendU64(buf, uint64(mm.NNodes))
+		buf = appendU64(buf, uint64(mm.QPer))
+		buf = appendU64(buf, uint64(mm.QVC))
+	case PBFT:
+		buf = appendStr(buf, "pbft")
+		buf = appendU64(buf, uint64(mm.NNodes))
+		buf = appendU64(buf, uint64(mm.QEq))
+		buf = appendU64(buf, uint64(mm.QPer))
+		buf = appendU64(buf, uint64(mm.QVC))
+		buf = appendU64(buf, uint64(mm.QVCT))
+	default:
+		buf = appendStr(buf, "model")
+		buf = appendU64(buf, uint64(m.N()))
+		buf = appendStr(buf, m.Name())
+	}
+	return buf
 }
 
 // appendSortedProfileBits appends the count and the sorted exact IEEE-754

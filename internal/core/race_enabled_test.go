@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active: sync.Pool
+// intentionally drops items under the race detector, so pooled-path
+// allocation pins are meaningless there.
+const raceEnabled = true

@@ -63,7 +63,13 @@ func NewJointCrashByz(nodes []TriState) *JointCrashByz {
 
 // Reset rebuilds the table for the given nodes in place. Buffers are
 // reused whenever they are large enough, so resetting a warm table of the
-// same (or smaller) size allocates nothing.
+// same (or smaller) size allocates nothing. Above ParallelRowThreshold
+// rows each fold's row updates are split across the bounded dist worker
+// group; the fold is written in gather form — every output cell is
+// computed by exactly one worker with a fixed operation order — so the
+// parallel build is bit-identical to the serial one (and both are
+// bit-identical to the historical scatter-form fold: per target cell the
+// contributions arrive in the same pc, pb, pok order).
 func (d *JointCrashByz) Reset(nodes []TriState) {
 	jointBuilds.Add(1)
 	n := len(nodes)
@@ -80,32 +86,72 @@ func (d *JointCrashByz) Reset(nodes []TriState) {
 		d.scratch = d.scratch[:need]
 	}
 	cur, next := d.p, d.scratch
-	for j := range cur {
-		cur[j] = 0
-	}
 	cur[0] = 1
+	workers := 1
+	if w >= ParallelRowThreshold {
+		workers = Parallelism()
+	}
 	for i, t := range nodes {
 		pc, pb, pok := clampTri(t)
-		for j := range next[:(i+2)*w] {
-			next[j] = 0
-		}
-		// Only cells with c+b <= i are populated after i nodes.
-		for c := 0; c <= i; c++ {
-			row := cur[c*w:]
-			for b := 0; b+c <= i; b++ {
-				m := row[b]
-				if m == 0 {
-					continue
-				}
-				next[c*w+b] += m * pok
-				next[(c+1)*w+b] += m * pc
-				next[c*w+b+1] += m * pb
-			}
+		// After folding node i the support is c+b <= i+1: rows 0..i+1.
+		rows := i + 2
+		if workers > 1 && rows >= ParallelRowThreshold {
+			// Copy everything the closure needs into branch-local
+			// variables: only these escape to the heap, so the serial
+			// small-N path below stays allocation-free.
+			src, dst, stride, node := cur, next, w, i
+			fc, fb, fok := pc, pb, pok
+			splitRows(rows, workers, func(lo, hi int) {
+				foldGather(dst, src, stride, node, fc, fb, fok, lo, hi)
+			})
+		} else {
+			foldGather(next, cur, w, i, pc, pb, pok, 0, rows)
 		}
 		cur, next = next, cur
 	}
+	// The gather fold writes only the support triangle; zero the
+	// complement once so whole-buffer consumers (MixJointCrashByz) see the
+	// same all-zero out-of-triangle cells a scatter build produced.
+	for c := 0; c <= n; c++ {
+		row := cur[c*w : (c+1)*w]
+		for b := n - c + 1; b <= n; b++ {
+			row[b] = 0
+		}
+	}
 	d.n = n
 	d.p, d.scratch = cur, next
+}
+
+// foldGather folds node i into rows [lo, hi) of next. Gather form:
+// next[c][b] = cur[c-1][b]·pc + cur[c][b-1]·pb + cur[c][b]·pok, reading
+// only cur cells with c+b <= i — which the previous fold fully wrote — so
+// neither buffer ever needs zeroing, and every output cell is written by
+// exactly one caller.
+func foldGather(next, cur []float64, w, i int, pc, pb, pok float64, lo, hi int) {
+	for c := lo; c < hi; c++ {
+		out := next[c*w:]
+		curRow := cur[c*w:]
+		var prevRow []float64
+		if c > 0 {
+			prevRow = cur[(c-1)*w:]
+		}
+		bMax := i + 1 - c
+		for b := 0; b <= bMax; b++ {
+			var v float64
+			if c > 0 {
+				v = prevRow[b] * pc
+			}
+			if b > 0 {
+				v += curRow[b-1] * pb
+			}
+			if b < bMax {
+				// cur[c][b] is inside the previous support exactly
+				// when c+b <= i.
+				v += curRow[b] * pok
+			}
+			out[b] = v
+		}
+	}
 }
 
 // ExtendWith folds one more node into the table in O(n^2) — the prefix-

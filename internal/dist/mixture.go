@@ -12,6 +12,9 @@ import "fmt"
 //
 // Both preserve the JointCrashByz invariants (triangular support, total
 // mass 1 up to rounding) so the result composes with SumWhere unchanged.
+// Both have Into forms writing a reusable destination workspace, the shape
+// the evaluator's block cache recombines cached domain blocks through with
+// zero steady-state allocations.
 
 // MixJointCrashByz returns the convex mixture wa·a + wb·b of two joint
 // distributions over the same number of nodes: the exact distribution of a
@@ -19,14 +22,30 @@ import "fmt"
 // from b with probability wb. Weights are expected to sum to 1; they are
 // applied as given so callers can fold normalisation in.
 func MixJointCrashByz(a, b *JointCrashByz, wa, wb float64) (*JointCrashByz, error) {
-	if a.n != b.n {
-		return nil, fmt.Errorf("dist: cannot mix joint tables over %d and %d nodes", a.n, b.n)
-	}
-	out := &JointCrashByz{n: a.n, p: make([]float64, len(a.p))}
-	for i := range out.p {
-		out.p[i] = wa*a.p[i] + wb*b.p[i]
+	out := &JointCrashByz{}
+	if err := MixJointCrashByzInto(out, a, b, wa, wb); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MixJointCrashByzInto writes the convex mixture into dst, reusing dst's
+// buffer. dst may alias a or b (the mixture is element-wise).
+func MixJointCrashByzInto(dst *JointCrashByz, a, b *JointCrashByz, wa, wb float64) error {
+	if a.n != b.n {
+		return fmt.Errorf("dist: cannot mix joint tables over %d and %d nodes", a.n, b.n)
+	}
+	need := (a.n + 1) * (a.n + 1)
+	if cap(dst.p) < need {
+		dst.p = make([]float64, need)
+	} else {
+		dst.p = dst.p[:need]
+	}
+	dst.n = a.n
+	for i := range dst.p {
+		dst.p[i] = wa*a.p[i] + wb*b.p[i]
+	}
+	return nil
 }
 
 // ConvolveJointCrashByz returns the joint (#crashed, #Byzantine)
@@ -36,31 +55,91 @@ func MixJointCrashByz(a, b *JointCrashByz, wa, wb float64) (*JointCrashByz, erro
 // accumulated with compensated summation so repeated convolution (one per
 // failure domain) stays exact to ~1e-15.
 func ConvolveJointCrashByz(a, b *JointCrashByz) *JointCrashByz {
+	out := &JointCrashByz{}
+	ConvolveJointCrashByzInto(out, a, b)
+	return out
+}
+
+// ConvolveJointCrashByzInto convolves a and b into dst, reusing dst's
+// buffer. dst must not alias a or b. The accumulation is written in gather
+// form — each output cell is one compensated sum over its (ca, ba) sources
+// in ascending order — so the table splits across the bounded dist worker
+// group above ParallelRowThreshold rows with bit-identical results, and
+// serial runs match the historical scatter-form accumulation bit for bit.
+func ConvolveJointCrashByzInto(dst *JointCrashByz, a, b *JointCrashByz) {
 	n := a.n + b.n
 	w := n + 1
-	wa, wb := a.n+1, b.n+1
-	sums := make([]KahanSum, w*w)
-	for ca := 0; ca <= a.n; ca++ {
-		rowA := a.p[ca*wa:]
-		for ba := 0; ba+ca <= a.n; ba++ {
-			ma := rowA[ba]
-			if ma == 0 {
-				continue
-			}
-			for cb := 0; cb <= b.n; cb++ {
-				rowB := b.p[cb*wb:]
-				outRow := sums[(ca+cb)*w+ba:]
-				for bb := 0; bb+cb <= b.n; bb++ {
-					if mb := rowB[bb]; mb != 0 {
-						outRow[bb].Add(ma * mb)
+	need := w * w
+	if cap(dst.p) < need {
+		dst.p = make([]float64, need)
+	} else {
+		dst.p = dst.p[:need]
+	}
+	dst.n = n
+	workers := 1
+	if w >= ParallelRowThreshold {
+		workers = Parallelism()
+	}
+	if workers > 1 && w >= ParallelRowThreshold {
+		// Branch-local copies so only the large-N path pays the closure's
+		// heap escapes; the serial path below stays allocation-free.
+		dp, ap, bp := dst.p, a.p, b.p
+		an, bn := a.n, b.n
+		splitRows(w, workers, func(lo, hi int) {
+			convolveRows(dp, ap, bp, an, bn, lo, hi)
+		})
+	} else {
+		convolveRows(dst.p, a.p, b.p, a.n, b.n, 0, w)
+	}
+}
+
+// convolveRows computes output rows [lo, hi) of the convolution of joint
+// tables ap (over an nodes) and bp (over bn nodes) into dp, including
+// zeroing each row's out-of-triangle complement. Each output cell is one
+// compensated sum over its (ca, ba) sources in ascending order.
+func convolveRows(dp, ap, bp []float64, an, bn, lo, hi int) {
+	n := an + bn
+	w := n + 1
+	wa, wb := an+1, bn+1
+	for c := lo; c < hi; c++ {
+		out := dp[c*w : (c+1)*w]
+		bMaxRow := n - c
+		for bb := bMaxRow + 1; bb <= n; bb++ {
+			out[bb] = 0
+		}
+		caLo := c - bn
+		if caLo < 0 {
+			caLo = 0
+		}
+		caHi := c
+		if caHi > an {
+			caHi = an
+		}
+		for bOut := 0; bOut <= bMaxRow; bOut++ {
+			var s KahanSum
+			for ca := caLo; ca <= caHi; ca++ {
+				cb := c - ca
+				rowA := ap[ca*wa:]
+				rowB := bp[cb*wb:]
+				baLo := bOut - (bn - cb)
+				if baLo < 0 {
+					baLo = 0
+				}
+				baHi := bOut
+				if m := an - ca; baHi > m {
+					baHi = m
+				}
+				for ba := baLo; ba <= baHi; ba++ {
+					ma := rowA[ba]
+					if ma == 0 {
+						continue
+					}
+					if mb := rowB[bOut-ba]; mb != 0 {
+						s.Add(ma * mb)
 					}
 				}
 			}
+			out[bOut] = s.Sum()
 		}
 	}
-	out := &JointCrashByz{n: n, p: make([]float64, w*w)}
-	for i := range sums {
-		out.p[i] = sums[i].Sum()
-	}
-	return out
 }

@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the bounded worker group behind the large-N joint-DP row
+// split: Reset folds and block convolutions write disjoint contiguous row
+// ranges of the output table, so they parallelize without locks and —
+// because every output cell is computed by exactly one worker with a fixed
+// per-cell operation order — the parallel result is bit-identical to the
+// serial one (pinned by TestJointParallelBitIdentical). Small tables stay
+// serial: below ParallelRowThreshold the goroutine fan-out would cost more
+// than the fold itself, and keeping the small-N path serial also keeps it
+// allocation-free (spawning workers allocates).
+
+// ParallelRowThreshold is the minimum number of output rows before a joint
+// DP fold or block convolution splits its rows across workers. 128 rows
+// means N >= 127 fleets: each fold then touches >= ~8k cells, comfortably
+// above goroutine fan-out cost.
+const ParallelRowThreshold = 128
+
+// maxJointWorkers bounds the worker group regardless of GOMAXPROCS: the
+// row split is memory-bandwidth-bound well before 8 workers.
+const maxJointWorkers = 8
+
+// jointWorkers holds the configured worker count; 0 means "derive from
+// GOMAXPROCS, capped at maxJointWorkers".
+var jointWorkers atomic.Int32
+
+// Parallelism reports the worker count large-N row splits will use.
+func Parallelism() int {
+	if w := jointWorkers.Load(); w > 0 {
+		return int(w)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxJointWorkers {
+		w = maxJointWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// SetParallelism sets the worker count for large-N row splits and returns
+// the previous setting. 1 forces serial execution (the bit-identity tests
+// diff serial against parallel builds); 0 restores the automatic default.
+// Safe for concurrent use; in-flight builds keep the count they started
+// with.
+func SetParallelism(workers int) int {
+	if workers < 0 {
+		workers = 0
+	}
+	return int(jointWorkers.Swap(int32(workers)))
+}
+
+// splitRows runs fn over [0, rows) in contiguous chunks, one chunk per
+// worker, and waits for all of them. fn must only write cells inside its
+// [lo, hi) row range; reads of shared input tables are safe because inputs
+// are immutable for the duration of the call.
+func splitRows(rows, workers int, fn func(lo, hi int)) {
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		fn(0, rows)
+		return
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

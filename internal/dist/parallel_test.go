@@ -1,0 +1,158 @@
+package dist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJointParallelBitIdentical pins the determinism contract of the
+// bounded worker group: a parallel Reset / ConvolveJointCrashByzInto is
+// bit-for-bit identical to a serial one, at sizes straddling
+// ParallelRowThreshold. Gather-form folds give every output cell exactly
+// one writer with a fixed operation order, so scheduling cannot perturb
+// the result; this test is what lets every other equality pin in the repo
+// ignore parallelism entirely.
+func TestJointParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{ParallelRowThreshold - 2, ParallelRowThreshold + 1, 200} {
+		nodes := randomTriStatesCapped(rng, n, 0.3)
+
+		prev := SetParallelism(1)
+		serial := NewJointCrashByz(nodes)
+		SetParallelism(4)
+		parallel := NewJointCrashByz(nodes)
+		SetParallelism(prev)
+
+		if serial.N() != parallel.N() {
+			t.Fatalf("n=%d: size mismatch %d vs %d", n, serial.N(), parallel.N())
+		}
+		for c := 0; c <= n; c++ {
+			for b := 0; c+b <= n; b++ {
+				s, p := serial.PMF(c, b), parallel.PMF(c, b)
+				if s != p {
+					t.Fatalf("n=%d: Reset PMF(%d,%d) differs: serial %v parallel %v", n, c, b, s, p)
+				}
+			}
+		}
+	}
+}
+
+func TestConvolveParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	na, nb := 90, 80 // combined table has 171 rows, above the threshold
+	a := NewJointCrashByz(randomTriStatesCapped(rng, na, 0.3))
+	b := NewJointCrashByz(randomTriStatesCapped(rng, nb, 0.3))
+
+	prev := SetParallelism(1)
+	serial := ConvolveJointCrashByz(a, b)
+	SetParallelism(4)
+	parallel := ConvolveJointCrashByz(a, b)
+	SetParallelism(prev)
+
+	n := na + nb
+	for c := 0; c <= n; c++ {
+		for bb := 0; c+bb <= n; bb++ {
+			s, p := serial.PMF(c, bb), parallel.PMF(c, bb)
+			if s != p {
+				t.Fatalf("convolve PMF(%d,%d) differs: serial %v parallel %v", c, bb, s, p)
+			}
+		}
+	}
+}
+
+// TestConvolveIntoMatchesAllocating pins that the workspace form reuses
+// its buffer, matches the allocating wrapper bit for bit, and zeroes the
+// out-of-triangle complement even when reusing a dirty larger buffer.
+func TestConvolveIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := NewJointCrashByz(randomTriStatesCapped(rng, 7, 0.4))
+	b := NewJointCrashByz(randomTriStatesCapped(rng, 5, 0.4))
+	want := ConvolveJointCrashByz(a, b)
+
+	var dst JointCrashByz
+	// Dirty the destination with a larger build first so stale cells
+	// would be visible if the Into form failed to overwrite them.
+	dst.Reset(randomTriStatesCapped(rng, 20, 0.4))
+	ConvolveJointCrashByzInto(&dst, a, b)
+
+	if dst.N() != want.N() {
+		t.Fatalf("N mismatch: %d vs %d", dst.N(), want.N())
+	}
+	n := dst.N()
+	w := n + 1
+	for c := 0; c <= n; c++ {
+		for bb := 0; bb <= n; bb++ {
+			g, wv := dst.p[c*w+bb], want.p[c*w+bb]
+			if g != wv {
+				t.Fatalf("cell (%d,%d): got %v want %v", c, bb, g, wv)
+			}
+		}
+	}
+
+	var mass KahanSum
+	for _, v := range dst.p {
+		mass.Add(v)
+	}
+	if m := mass.Sum(); m < 1-1e-12 || m > 1+1e-12 {
+		t.Fatalf("convolved mass = %v, want 1", m)
+	}
+}
+
+func TestMixIntoMatchesAllocating(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	nodes := randomTriStatesCapped(rng, 9, 0.4)
+	a := NewJointCrashByz(nodes)
+	elevated := make([]TriState, len(nodes))
+	for i, ts := range nodes {
+		elevated[i] = TriState{PCrash: ts.PCrash * 3, PByz: ts.PByz * 2}
+	}
+	b := NewJointCrashByz(elevated)
+
+	want, err := MixJointCrashByz(a, b, 0.9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dst JointCrashByz
+	if err := MixJointCrashByzInto(&dst, a, b, 0.9, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if dst.N() != want.N() {
+		t.Fatalf("N mismatch: %d vs %d", dst.N(), want.N())
+	}
+	for i := range want.p {
+		if dst.p[i] != want.p[i] {
+			t.Fatalf("cell %d: got %v want %v", i, dst.p[i], want.p[i])
+		}
+	}
+
+	var short JointCrashByz
+	short.Reset(randomTriStatesCapped(rng, 3, 0.4))
+	if err := MixJointCrashByzInto(&short, a, b, 0.9, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if short.N() != a.N() {
+		t.Fatalf("Into did not resize: N=%d want %d", short.N(), a.N())
+	}
+
+	var bad JointCrashByz
+	mismatch := NewJointCrashByz(nodes[:4])
+	if err := MixJointCrashByzInto(&bad, a, mismatch, 0.5, 0.5); err == nil {
+		t.Fatal("expected size-mismatch error")
+	}
+}
+
+// TestSetParallelism pins the configuration contract the bit-identity
+// tests rely on.
+func TestSetParallelism(t *testing.T) {
+	prev := SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(3)", got)
+	}
+	if got := SetParallelism(-5); got != 3 {
+		t.Fatalf("SetParallelism returned %d, want 3", got)
+	}
+	if got := Parallelism(); got < 1 || got > maxJointWorkers {
+		t.Fatalf("auto Parallelism() = %d, want in [1, %d]", got, maxJointWorkers)
+	}
+	SetParallelism(prev)
+}

@@ -162,7 +162,25 @@ func (p HardeningProblem) UsesCentralDifferences() bool {
 func (p HardeningProblem) Objective() Objective {
 	value := func(x []float64) float64 { return logUnavail(p.Eval(x)) }
 	if p.UsesCentralDifferences() {
-		return FuncObjective{F: value}
+		// Correlated layout: every engine call runs through one dedicated
+		// evaluator whose domain block cache carries across the solve. A
+		// central-difference probe perturbs one node, so only that node's
+		// domain rebuilds its two small block DPs — the rest of the fleet
+		// is answered from cached rest tables; line-search steps move all
+		// nodes but still convolve cached blocks.
+		e := core.NewEvaluator()
+		fleet := make(core.Fleet, len(p.Fleet))
+		return FuncObjective{F: func(x []float64) float64 {
+			copy(fleet, p.Fleet)
+			for i := range fleet {
+				fleet[i].Profile = hardenedProfile(p.Fleet[i].Profile, p.Curves[i], x[i])
+			}
+			res, err := e.AnalyzeDomains(fleet, p.Model, p.Domains)
+			if err != nil {
+				panic(fmt.Sprintf("optimize: engine rejected a validated hardening query: %v", err))
+			}
+			return logUnavail(res)
+		}}
 	}
 	// The leave-one-out workspace is shared across the solve's gradient
 	// calls: solvers evaluate gradients sequentially, so one workspace
@@ -315,7 +333,24 @@ func (p DomainHardeningProblem) Eval(x []float64) core.Result {
 
 // Objective returns f(x) = ln(1 - SafeAndLive(x)) with central-difference
 // gradients: the shock probability enters the mixture engine non-linearly
-// per domain, so the leave-one-out trick does not apply.
+// per domain, so the leave-one-out trick does not apply. All engine calls
+// share one dedicated evaluator: a spend vector only moves shock
+// probabilities — mixture weights, never block DPs — so after the first
+// evaluation builds the per-domain blocks and rest tables, every gradient
+// probe and line-search step is answered with zero joint rebuilds
+// (pinned by TestDomainHardeningBlockReuse).
 func (p DomainHardeningProblem) Objective() Objective {
-	return FuncObjective{F: func(x []float64) float64 { return logUnavail(p.Eval(x)) }}
+	e := core.NewEvaluator()
+	ds := make(core.DomainSet, len(p.Domains))
+	return FuncObjective{F: func(x []float64) float64 {
+		copy(ds, p.Domains)
+		for i := range ds {
+			ds[i].ShockProb = p.Curves[i].Prob(x[i])
+		}
+		res, err := e.AnalyzeDomains(p.Fleet, p.Model, ds)
+		if err != nil {
+			panic(fmt.Sprintf("optimize: engine rejected a validated domain-hardening query: %v", err))
+		}
+		return logUnavail(res)
+	}}
 }

@@ -268,6 +268,106 @@ func TestSweepWithDomains(t *testing.T) {
 	}
 }
 
+// TestSweepDomainsCrossCellCache pins the cache interaction the domained
+// sweep depends on: cells at different N share the same domains block but
+// not the same membership layout (node i joins domain i mod D, so n=3,
+// n=5, and n=9 distribute differently), and each cell's L1 key is the
+// canonical fingerprint of its own analyzed fleet. A wrong key — one that
+// ignored membership — would let the n=3 cell's Result answer the n=5
+// cell. The test runs a varying-N grid twice: every cell must match the
+// engine under that cell's own round-robin layout, and the repeat sweep
+// must reproduce the first byte-for-byte (pure cache hits, no poisoning).
+func TestSweepDomainsCrossCellCache(t *testing.T) {
+	srv, ts := newTestServer(t)
+	req := SweepRequest{
+		Protocol: "raft",
+		Ns:       []int{3, 5, 9},
+		Ps:       []float64{0.01, 0.03},
+		Domains: []DomainSpec{
+			{Name: "z1", Shock: 0.002, CrashMult: f64(25)},
+			{Name: "z2", Shock: 0.004, CrashMult: f64(15)},
+			{Name: "z3", Shock: 0.001, CrashMult: f64(40)},
+		},
+	}
+	domains := core.DomainSet{
+		{Name: "z1", ShockProb: 0.002, CrashMultiplier: 25, ByzMultiplier: 1},
+		{Name: "z2", ShockProb: 0.004, CrashMultiplier: 15, ByzMultiplier: 1},
+		{Name: "z3", ShockProb: 0.001, CrashMultiplier: 40, ByzMultiplier: 1},
+	}
+	sweep := func() []SweepLine {
+		var buf bytes.Buffer
+		if err := srv.Sweep(context.Background(), req, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(&buf)
+		var lines []SweepLine
+		for sc.Scan() {
+			var line SweepLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatal(err)
+			}
+			if line.Error != "" {
+				t.Fatalf("cell n=%d p=%g: %s", line.N, line.P, line.Error)
+			}
+			lines = append(lines, line)
+		}
+		return lines
+	}
+	first := sweep()
+	if len(first) != 6 {
+		t.Fatalf("got %d lines, want 6", len(first))
+	}
+	for _, line := range first {
+		fleet := core.UniformCrashFleet(line.N, line.P)
+		for i := range fleet {
+			fleet[i].Domain = domains[i%3].Name
+		}
+		want, err := core.AnalyzeDomains(fleet, core.NewRaft(line.N), domains)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(line.SafeAndLive-want.SafeAndLive) > 1e-12 ||
+			math.Abs(line.Safe-want.Safe) > 1e-12 ||
+			math.Abs(line.Live-want.Live) > 1e-12 {
+			t.Fatalf("cell n=%d p=%g: sweep %+v != engine %+v", line.N, line.P, line, want)
+		}
+	}
+	second := sweep()
+	for i := range first {
+		if second[i] != first[i] {
+			t.Fatalf("repeat sweep cell %d changed: %+v != %+v", i, second[i], first[i])
+		}
+	}
+
+	// The cell's cache key is the fingerprint of its analyzed membership:
+	// an equivalent /v1/analyze query (uniform p spread round-robin over
+	// the same domains) must hit the entry the sweep populated and carry
+	// the canonical fleet+model+domains fingerprint.
+	fleet := core.UniformCrashFleet(5, 0.03)
+	for i := range fleet {
+		fleet[i].Domain = domains[i%3].Name
+	}
+	fp, err := core.FleetModelDomainsFingerprint(fleet, core.NewRaft(5), domains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := `{"model":{"protocol":"raft","n":5},"p":0.03,
+	  "domains":[{"name":"z1","shock":0.002,"crash_mult":25},
+	             {"name":"z2","shock":0.004,"crash_mult":15},
+	             {"name":"z3","shock":0.001,"crash_mult":40}]}`
+	_, b := postJSON(t, ts.URL+"/v1/analyze", body)
+	var got AnalyzeResponse
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatal("analyze of a swept cell must hit the cache entry the sweep populated")
+	}
+	if got.Fingerprint != fp.String() {
+		t.Fatalf("cell fingerprint %s != canonical membership fingerprint %s", got.Fingerprint, fp.String())
+	}
+}
+
 func TestSweepDomainsValidation(t *testing.T) {
 	srv, _ := newTestServer(t)
 	req := SweepRequest{

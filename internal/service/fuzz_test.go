@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The fuzz targets below exercise the request decoders and validators of
+// the three POST endpoints — the code between raw client bytes and the
+// engine. They deliberately stop short of running the engine or solver:
+// a valid request may legally cost up to a minute of CPU, which would
+// starve the fuzzer. The property under test is that arbitrary bytes
+// either fail cleanly (a client error) or resolve into inputs satisfying
+// the invariants the engine and cache rely on — never a panic, never a
+// fleet/model size mismatch, never an unfingerprintable query.
+
+// decodeStrict mirrors decodeJSON's decoder configuration
+// (DisallowUnknownFields) without the HTTP plumbing.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func FuzzAnalyzeRequest(f *testing.F) {
+	seeds := []string{
+		`{"model":{"protocol":"raft","n":3},"p":0.01}`,
+		`{"model":{"protocol":"pbft","n":7,"q_eq":5,"q_per":5,"q_vc":5,"q_vct":3},"p":0.01}`,
+		`{"model":{"protocol":"raft","n":3},"fleet":[{"p_crash":0.01},{"p_crash":0.02},{"p_crash":0.04,"p_byz":0.001}]}`,
+		domainsBody,
+		`{"model":{"protocol":"raft","n":9},"p":0.02,"domains":[{"name":"z1","shock":0.001,"crash_mult":30},{"name":"z2","shock":0.001,"crash_mult":30},{"name":"z3","shock":0.001,"crash_mult":30}]}`,
+		`{"model":{"protocol":"raft","n":0},"p":0.01}`,
+		`{"model":{"protocol":"raft","n":3},"p":1.5}`,
+		`{"model":{"protocol":"paxos","n":3},"p":0.01}`,
+		`{"model":{"protocol":"raft","n":5},"fleet":[{"p_crash":0.1}]}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.1,"fleet":[{"p_crash":0.1},{"p_crash":0.1},{"p_crash":0.1}]}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"domains":[{"name":"z","shock":1.5}]}`,
+		`{"model":{"protocol":"raft","n":3},"fleet":[{"p_crash":0.01,"domain":"ghost"},{"p_crash":0.01},{"p_crash":0.01}]}`,
+		`{"model":{"protocol":"raft","n":9999999},"p":0.1}`,
+		`not json`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"bogus":1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req AnalyzeRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return
+		}
+		fleet, m, domains, err := req.Query()
+		if err != nil {
+			return // rejected: the clean client-error path
+		}
+		// Accepted queries must satisfy what the engine asserts and the
+		// cache assumes.
+		if len(fleet) != m.N() {
+			t.Fatalf("accepted query with fleet size %d != model N %d", len(fleet), m.N())
+		}
+		if err := fleet.Validate(); err != nil {
+			t.Fatalf("accepted query with invalid fleet: %v", err)
+		}
+		if err := domains.Validate(fleet); err != nil {
+			t.Fatalf("accepted query with invalid domain layout: %v", err)
+		}
+		if _, err := core.FleetModelDomainsFingerprint(fleet, m, domains); err != nil {
+			t.Fatalf("accepted query is unfingerprintable: %v", err)
+		}
+		if work := core.DomainsWorkEstimate(fleet, domains); work > MaxAnalyzeWork {
+			t.Fatalf("accepted query above the work bound: %g > %g", work, float64(MaxAnalyzeWork))
+		}
+	})
+}
+
+func FuzzSweepRequest(f *testing.F) {
+	seeds := []string{
+		`{"protocol":"raft","ns":[3,5,7,9],"ps":[0.01,0.02,0.04,0.08]}`,
+		`{"protocol":"pbft","ns":[4,7],"ps":[0.01]}`,
+		`{"protocol":"raft","ns":[3,9],"ps":[0.01,0.04],"domains":[{"name":"z1","shock":0.001,"crash_mult":40},{"name":"z2","shock":0.001,"crash_mult":40},{"name":"z3","shock":0.001,"crash_mult":40}]}`,
+		`{"protocol":"quorum","ns":[3],"ps":[0.01]}`,
+		`{"protocol":"raft","ns":[],"ps":[0.01]}`,
+		`{"protocol":"raft","ns":[3],"ps":[2]}`,
+		`{"protocol":"raft","ns":[1024],"ps":[0.01]}`,
+		`{"protocol":"raft","ns":[3],"ps":[0.01],"domains":[{"name":"z","shock":2}]}`,
+		`{"ns":[3],"ps":[0.01]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SweepRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			return
+		}
+		// A validated grid must be within the scheduling bounds and its
+		// domains block must resolve (sweepValidated resolves it again).
+		if cells := len(req.Ns) * len(req.Ps); cells == 0 || cells > MaxSweepCells {
+			t.Fatalf("validated grid has %d cells", cells)
+		}
+		if _, err := resolveDomains(req.Domains); err != nil {
+			t.Fatalf("validated sweep domains failed to resolve: %v", err)
+		}
+	})
+}
+
+func FuzzOptimizeRequest(f *testing.F) {
+	seeds := []string{
+		optimizeBody,
+		`{"model":{"protocol":"raft","n":9},"p":0.004,"budget":1,"target":"domains","curve":{"floor_frac":0.05,"scale":0.3},"domains":[{"name":"a","shock":0.003,"crash_mult":300},{"name":"b","shock":0.001,"crash_mult":300},{"name":"c","shock":0.0003,"crash_mult":300}]}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":0,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1e12,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"iterations":-1,"curve":{"floor_frac":0.1,"scale":0.3}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":1.5,"scale":0.3}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"curve":{"floor_frac":0.1,"scale":0}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"target":"widgets","curve":{"floor_frac":0.1,"scale":0.3}}`,
+		`{"model":{"protocol":"raft","n":3},"p":0.01,"budget":1,"target":"domains","curve":{"floor_frac":0.1,"scale":0.3}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req OptimizeRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return
+		}
+		if err := req.validateCommon(); err != nil {
+			return
+		}
+		fleet, m, domains, err := AnalyzeRequest{
+			Model: req.Model, Fleet: req.Fleet, P: req.P, Domains: req.Domains,
+		}.Query()
+		if err != nil {
+			return
+		}
+		if len(fleet) != m.N() {
+			t.Fatalf("accepted problem with fleet size %d != model N %d", len(fleet), m.N())
+		}
+		if req.Target == targetDomains && len(domains) == 0 {
+			return // Optimize rejects this after resolution; nothing to assert
+		}
+	})
+}
