@@ -5,6 +5,7 @@
 //
 //	probconsd                          # serve on :8080
 //	probconsd -addr :9090 -cache 65536 -workers 16
+//	probconsd -metrics-addr :9091 -log-format json
 //
 // Endpoints:
 //
@@ -12,12 +13,18 @@
 //	POST /v1/sweep    — (n, p) grid, streamed as JSON lines
 //	GET  /v1/tables   — the paper's Tables 1 and 2
 //	GET  /healthz     — liveness probe
-//	GET  /statsz      — cache and worker-pool counters
+//	GET  /statsz      — cache, worker-pool, and latency counters
+//	GET  /metrics     — Prometheus text exposition (see docs/OBSERVABILITY.md)
 //
 // Identical concurrent queries are coalesced into one computation;
 // repeated queries are served from a sharded LRU cache keyed by the
 // canonical fleet+model fingerprint. SIGINT/SIGTERM drain in-flight
 // requests before exit.
+//
+// With -metrics-addr unset, /metrics and /debug/pprof/* are served on
+// the main listener. Setting -metrics-addr moves pprof (and a second
+// /metrics mount) onto a private ops listener, keeping profiling
+// endpoints off the public address.
 package main
 
 import (
@@ -25,7 +32,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,62 +44,157 @@ import (
 	"repro/internal/service"
 )
 
+// config collects the daemon's flag-settable knobs.
+type config struct {
+	addr        string
+	metricsAddr string // "" = ops endpoints share the main listener
+	cacheSize   int
+	shards      int
+	workers     int
+	drain       time.Duration
+	logFormat   string // "text" or "json"
+	logW        *os.File
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		cacheSize = flag.Int("cache", 4096, "memoization cache capacity (entries)")
-		shards    = flag.Int("shards", 16, "cache shard count")
-		workers   = flag.Int("workers", runtime.NumCPU(), "sweep worker pool size")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.metricsAddr, "metrics-addr", "", "separate ops listen address for /metrics and /debug/pprof (default: serve them on -addr)")
+	flag.IntVar(&cfg.cacheSize, "cache", 4096, "memoization cache capacity (entries)")
+	flag.IntVar(&cfg.shards, "shards", 16, "cache shard count")
+	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "sweep worker pool size")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
+	flag.StringVar(&cfg.logFormat, "log-format", "text", "access-log format: text or json")
 	flag.Parse()
-	if err := run(*addr, *cacheSize, *shards, *workers, *drain); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "probconsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cacheSize, shards, workers int, drain time.Duration) error {
-	if cacheSize < 1 {
-		return fmt.Errorf("cache capacity must be >= 1, got %d", cacheSize)
+// newLogger builds the access logger for the chosen format.
+func newLogger(cfg config) (*slog.Logger, error) {
+	w := cfg.logW
+	if w == nil {
+		w = os.Stderr
 	}
-	if shards < 1 {
-		return fmt.Errorf("shard count must be >= 1, got %d", shards)
+	switch cfg.logFormat {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("log format must be text or json, got %q", cfg.logFormat)
 	}
-	if workers < 1 {
-		return fmt.Errorf("worker count must be >= 1, got %d", workers)
+}
+
+// registerPprof mounts the runtime profiling handlers explicitly — the
+// daemon never uses http.DefaultServeMux, so the net/http/pprof side
+// effects on it do not leak onto any listener by accident.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+func run(cfg config) error {
+	if cfg.cacheSize < 1 {
+		return fmt.Errorf("cache capacity must be >= 1, got %d", cfg.cacheSize)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("shard count must be >= 1, got %d", cfg.shards)
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("worker count must be >= 1, got %d", cfg.workers)
+	}
+	logger, err := newLogger(cfg)
+	if err != nil {
+		return err
 	}
 	srv := service.New(service.Options{
-		CacheCapacity: cacheSize,
-		CacheShards:   shards,
-		Workers:       workers,
+		CacheCapacity: cfg.cacheSize,
+		CacheShards:   cfg.shards,
+		Workers:       cfg.workers,
+		Logger:        logger,
 	})
+
+	root := http.NewServeMux()
+	root.Handle("/", srv.Handler())
+	if cfg.metricsAddr == "" {
+		registerPprof(root)
+	}
 	httpSrv := &http.Server{
-		Addr:              addr,
-		Handler:           srv.Handler(),
+		Addr:              cfg.addr,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errCh := make(chan error, 1)
+	errCh := make(chan error, 2)
 	go func() {
 		fmt.Printf("probconsd: serving on %s (cache %d entries / %d shards, %d workers)\n",
-			addr, cacheSize, shards, workers)
+			cfg.addr, cfg.cacheSize, cfg.shards, cfg.workers)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
+	var opsSrv *http.Server
+	if cfg.metricsAddr != "" {
+		ops := http.NewServeMux()
+		ops.Handle("/metrics", srv.MetricsHandler())
+		registerPprof(ops)
+		opsSrv = &http.Server{
+			Addr:              cfg.metricsAddr,
+			Handler:           ops,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			fmt.Printf("probconsd: ops endpoints (metrics, pprof) on %s\n", cfg.metricsAddr)
+			errCh <- opsSrv.ListenAndServe()
+		}()
+	}
+
+	listeners := 1
+	if opsSrv != nil {
+		listeners = 2
+	}
+	// shutdown drains both listeners and collects the ListenAndServe
+	// returns still owed on errCh (pending is listeners minus any error
+	// the caller already consumed).
+	shutdown := func(why string, pending int) error {
+		fmt.Printf("probconsd: %s, draining for up to %v\n", why, cfg.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+		defer cancel()
+		var firstErr error
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			firstErr = fmt.Errorf("shutdown: %w", err)
+		}
+		if opsSrv != nil {
+			if err := opsSrv.Shutdown(ctx); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("ops shutdown: %w", err)
+			}
+		}
+		for i := 0; i < pending; i++ {
+			if err := <-errCh; !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	select {
 	case err := <-errCh:
+		// One listener died (bad address, port in use): stop the other and
+		// surface the original failure.
+		if shutdownErr := shutdown("listener failed", listeners-1); shutdownErr != nil && err == nil {
+			err = shutdownErr
+		}
 		return err
 	case s := <-sig:
-		fmt.Printf("probconsd: %v, draining for up to %v\n", s, drain)
-		ctx, cancel := context.WithTimeout(context.Background(), drain)
-		defer cancel()
-		if err := httpSrv.Shutdown(ctx); err != nil {
-			return fmt.Errorf("shutdown: %w", err)
-		}
-		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+		if err := shutdown(s.String(), listeners); err != nil {
 			return err
 		}
 		st := srv.Stats()

@@ -7,25 +7,42 @@ import (
 	"time"
 )
 
-func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(":0", 0, 1, 1, time.Second); err == nil {
-		t.Error("cache capacity 0 must be rejected")
-	}
-	if err := run(":0", 16, 0, 1, time.Second); err == nil {
-		t.Error("shard count 0 must be rejected")
-	}
-	if err := run(":0", 16, 1, 0, time.Second); err == nil {
-		t.Error("worker count 0 must be rejected")
-	}
-	if err := run("not-an-address", 16, 1, 1, time.Second); err == nil {
-		t.Error("unlistenable address must surface an error")
+// testConfig is a valid baseline config on ephemeral ports.
+func testConfig() config {
+	return config{
+		addr:      "127.0.0.1:0",
+		cacheSize: 16,
+		shards:    2,
+		workers:   2,
+		drain:     2 * time.Second,
+		logFormat: "text",
 	}
 }
 
-func TestRunGracefulShutdown(t *testing.T) {
-	errCh := make(chan error, 1)
-	go func() { errCh <- run("127.0.0.1:0", 16, 2, 2, 2*time.Second) }()
-	// Give run() time to install its signal handler and start listening.
+func TestRunRejectsBadConfig(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*config)
+	}{
+		{"cache capacity 0", func(c *config) { c.cacheSize = 0 }},
+		{"shard count 0", func(c *config) { c.shards = 0 }},
+		{"worker count 0", func(c *config) { c.workers = 0 }},
+		{"unlistenable address", func(c *config) { c.addr = "not-an-address" }},
+		{"unlistenable metrics address", func(c *config) { c.metricsAddr = "not-an-address" }},
+		{"unknown log format", func(c *config) { c.logFormat = "xml" }},
+	}
+	for _, tc := range cases {
+		cfg := testConfig()
+		tc.mutate(&cfg)
+		if err := run(cfg); err == nil {
+			t.Errorf("%s must be rejected", tc.name)
+		}
+	}
+}
+
+// drainAndCheck signals the daemon and verifies a clean exit.
+func drainAndCheck(t *testing.T, errCh chan error) {
+	t.Helper()
 	time.Sleep(300 * time.Millisecond)
 	select {
 	case err := <-errCh:
@@ -47,4 +64,21 @@ func TestRunGracefulShutdown(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("daemon did not drain and exit after SIGTERM")
 	}
+}
+
+func TestRunGracefulShutdown(t *testing.T) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(testConfig()) }()
+	drainAndCheck(t, errCh)
+}
+
+// TestRunGracefulShutdownWithOpsListener drains a daemon running the
+// separate -metrics-addr ops listener (and the json log format).
+func TestRunGracefulShutdownWithOpsListener(t *testing.T) {
+	cfg := testConfig()
+	cfg.metricsAddr = "127.0.0.1:0"
+	cfg.logFormat = "json"
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(cfg) }()
+	drainAndCheck(t, errCh)
 }

@@ -12,6 +12,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"repro/internal/service"
 )
 
 // docFiles returns the markdown files under link-check: the top-level
@@ -108,7 +110,7 @@ func TestDocsMentionAllFlags(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	flagDef := regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64)\("([^"]+)"`)
+	flagDef := regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64)(?:Var\(&[^,]+,\s*|\()"([^"]+)"`)
 	var flags []string
 	for _, m := range flagDef.FindAllStringSubmatch(string(src), -1) {
 		flags = append(flags, m[1])
@@ -125,6 +127,26 @@ func TestDocsMentionAllFlags(t *testing.T) {
 			if !strings.Contains(string(data), fmt.Sprintf("-%s", f)) {
 				t.Errorf("%s does not document probconsd flag -%s", doc, f)
 			}
+		}
+	}
+}
+
+// TestObservabilityDocCoversAllMetrics pins docs/OBSERVABILITY.md to the
+// actual /metrics surface: every family a live server exports (server
+// and engine registries alike) must be documented by name.
+func TestObservabilityDocCoversAllMetrics(t *testing.T) {
+	data, err := os.ReadFile("docs/OBSERVABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(data)
+	families := service.New(service.Options{Workers: 1}).MetricFamilies()
+	if len(families) < 10 {
+		t.Fatalf("only %d metric families exported; introspection broken?", len(families))
+	}
+	for _, fam := range families {
+		if !strings.Contains(doc, fam.Name) {
+			t.Errorf("docs/OBSERVABILITY.md does not document metric family %s (%s)", fam.Name, fam.Kind)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
+	"repro/internal/obs"
 )
 
 // This file is the incremental correlated-domain engine: the per-domain
@@ -66,6 +67,23 @@ const (
 )
 
 type blockKey = [sha256.Size]byte
+
+// Process-global mirrors of the per-evaluator DomainCacheStats: every
+// increment below bumps both, so tests keep the precise per-evaluator
+// view while /metrics aggregates block reuse across the whole serving
+// fleet's evaluator pool.
+var (
+	domBlockHits = obs.Default().Counter("probcons_engine_block_cache_hits_total",
+		"Per-domain block-DP cache hits (base/elevated/independent blocks).", nil)
+	domBlockMisses = obs.Default().Counter("probcons_engine_block_cache_misses_total",
+		"Per-domain block-DP cache misses (each one from-scratch dist build).", nil)
+	domRestHits = obs.Default().Counter("probcons_engine_rest_table_hits_total",
+		"Correlated queries answered by the leave-one-block-out O(k^2) fast path.", nil)
+	domRestMisses = obs.Default().Counter("probcons_engine_rest_table_misses_total",
+		"Correlated queries that ran a full block recombination.", nil)
+	domResultHits = obs.Default().Counter("probcons_engine_result_memo_hits_total",
+		"Exact-repeat correlated queries answered from the evaluator result memo.", nil)
+)
 
 // DomainCacheStats counts the evaluator domain-cache traffic — the
 // companion of dist.JointBuilds for proving block reuse in tests and
@@ -272,9 +290,11 @@ func (ds *domainState) blockFor(fleet Fleet, idxs []int, elevate *faultcurve.Dom
 	}
 	if j, ok := ds.blockCache[key]; ok && j.N() == len(idxs) {
 		ds.stats.BlockHits++
+		domBlockHits.Inc()
 		return j
 	}
 	ds.stats.BlockMisses++
+	domBlockMisses.Inc()
 	ds.tri = ds.tri[:0]
 	for _, i := range idxs {
 		p := fleet[i].Profile
@@ -433,6 +453,7 @@ func (e *Evaluator) analyzeDomainsMixture(fleet Fleet, m CountModel, domains Dom
 	qkey := ds.resultKey(fleet, m, domains)
 	if r, ok := ds.resultCache[qkey]; ok {
 		ds.stats.ResultHits++
+		domResultHits.Inc()
 		return r, nil
 	}
 
@@ -450,11 +471,13 @@ func (e *Evaluator) analyzeDomainsMixture(fleet Fleet, m CountModel, domains Dom
 			return Result{}, err
 		}
 		ds.stats.RestHits++
+		domRestHits.Inc()
 		r := rt.dot(&ds.fastMix)
 		ds.resultCache[qkey] = r
 		return r, nil
 	}
 	ds.stats.RestMisses++
+	domRestMisses.Inc()
 
 	// Full path: recombine cached/rebuilt blocks. Grow chain workspaces
 	// before taking pointers into them.

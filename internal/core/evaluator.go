@@ -3,9 +3,35 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
+	"repro/internal/obs"
+)
+
+// Engine-stage latency histograms and evaluator-pool traffic counters,
+// registered on the process-global obs registry next to the dist DP
+// counters. The stage split (dp_build vs tail_fold) is the aggregate
+// form of the request-scoped span timer the service's debug block
+// carries: dp_build is the O(N^3) joint construction, tail_fold the
+// O(N^2) predicate summation. Observing costs two monotonic clock reads
+// per stage and zero allocations, so the evaluator's zero-alloc
+// guarantees hold with instrumentation active (pinned by
+// TestEvaluatorAnalyzeZeroAllocs).
+var (
+	stageDPBuild = obs.Default().Histogram("probcons_engine_stage_seconds",
+		"Engine stage latency: dp_build is the joint-DP construction, tail_fold the predicate summation.",
+		obs.LatencyBuckets, obs.Labels{"stage": "dp_build"})
+	stageTailFold = obs.Default().Histogram("probcons_engine_stage_seconds",
+		"Engine stage latency: dp_build is the joint-DP construction, tail_fold the predicate summation.",
+		obs.LatencyBuckets, obs.Labels{"stage": "tail_fold"})
+	evalPoolGets = obs.Default().Counter("probcons_engine_evaluator_pool_gets_total",
+		"Evaluators borrowed from an EvaluatorPool.", nil)
+	evalPoolPuts = obs.Default().Counter("probcons_engine_evaluator_pool_puts_total",
+		"Evaluators returned to an EvaluatorPool.", nil)
+	evalPoolAllocs = obs.Default().Counter("probcons_engine_evaluator_pool_allocs_total",
+		"Pool Gets that allocated a fresh Evaluator (pool was empty).", nil)
 )
 
 // Evaluator is the reusable-workspace analysis engine: it owns the DP
@@ -99,10 +125,15 @@ func (e *Evaluator) buildJointFleet(fleet Fleet) error {
 // allocations once the buffers have grown to the fleet size. Identical
 // answers to the package-level Analyze.
 func (e *Evaluator) Analyze(fleet Fleet, m CountModel) (Result, error) {
+	start := time.Now()
 	if err := e.buildJoint(fleet, m); err != nil {
 		return Result{}, err
 	}
-	return resultFromJointModel(&e.joint, m), nil
+	folded := time.Now()
+	stageDPBuild.ObserveDuration(folded.Sub(start))
+	res := resultFromJointModel(&e.joint, m)
+	stageTailFold.ObserveSince(folded)
+	return res, nil
 }
 
 // AnalyzeDomains is the evaluator counterpart of the package-level
@@ -194,14 +225,19 @@ func NewEvaluatorPool() *EvaluatorPool { return &EvaluatorPool{} }
 
 // Get takes an evaluator from the pool (allocating one if idle).
 func (p *EvaluatorPool) Get() *Evaluator {
+	evalPoolGets.Inc()
 	if e, ok := p.p.Get().(*Evaluator); ok {
 		return e
 	}
+	evalPoolAllocs.Inc()
 	return NewEvaluator()
 }
 
 // Put returns an evaluator to the pool. The caller must not use it again.
-func (p *EvaluatorPool) Put(e *Evaluator) { p.p.Put(e) }
+func (p *EvaluatorPool) Put(e *Evaluator) {
+	evalPoolPuts.Inc()
+	p.p.Put(e)
+}
 
 // Analyze runs one exact analysis on a pooled evaluator.
 func (p *EvaluatorPool) Analyze(fleet Fleet, m CountModel) (Result, error) {

@@ -1,6 +1,6 @@
 package dist
 
-import "sync/atomic"
+import "repro/internal/obs"
 
 // JointCrashByz is the exact joint distribution of (#crashed, #Byzantine)
 // across a fleet of independent tri-state nodes — the object at the heart
@@ -30,15 +30,29 @@ type JointCrashByz struct {
 }
 
 // jointBuilds counts from-scratch table constructions (Reset and therefore
-// NewJointCrashByz, plus LeaveOneOut's rebuild fallback) — the test hook
-// that pins "one DP build per fleet" claims like SweepRaftQuorums'.
+// NewJointCrashByz, plus LeaveOneOut's rebuild fallback) — formerly a
+// test-only hook pinning "one DP build per fleet" claims like
+// SweepRaftQuorums', now a registered metric scraped from /metrics.
 // Incremental ExtendWith folds and leave-one-out deflations do not count.
-var jointBuilds atomic.Int64
+// workspaceReuses is its symmetric companion: Resets whose buffers were
+// already large enough, so the build allocated nothing.
+var (
+	jointBuilds = obs.Default().Counter("probcons_engine_joint_builds_total",
+		"From-scratch O(n^3) joint crash/Byzantine DP table constructions.", nil)
+	workspaceReuses = obs.Default().Counter("probcons_engine_workspace_reuses_total",
+		"Joint-DP Resets served entirely from existing workspace buffers (no allocation).", nil)
+)
 
 // JointBuilds returns the number of from-scratch joint-DP constructions
 // performed by this process so far. Tests diff it around a call to assert
 // how many full O(n^3) builds the call performed.
 func JointBuilds() int64 { return jointBuilds.Load() }
+
+// WorkspaceReuses returns the number of joint-DP Resets that reused both
+// workspace buffers without allocating — the steady-state counterpart of
+// JointBuilds that makes EXPERIMENTS.md's zero-allocation claims
+// scrapeable.
+func WorkspaceReuses() int64 { return workspaceReuses.Load() }
 
 // clampTri normalises one node's tri-state to a valid distribution, crash
 // taking priority over Byzantine — the same branch order the Monte-Carlo
@@ -75,6 +89,9 @@ func (d *JointCrashByz) Reset(nodes []TriState) {
 	n := len(nodes)
 	w := n + 1
 	need := w * w
+	if cap(d.p) >= need && cap(d.scratch) >= need {
+		workspaceReuses.Add(1)
+	}
 	if cap(d.p) < need {
 		d.p = make([]float64, need)
 	} else {

@@ -1,5 +1,7 @@
 package dist
 
+import "repro/internal/obs"
+
 // LeaveOneOut maintains the joint (#crashed, #Byzantine) distribution of a
 // fleet together with cheap access to every "all nodes but one" sub-
 // distribution — the quantity analytic gradients and sensitivity analyses
@@ -31,6 +33,26 @@ type LeaveOneOut struct {
 	full  JointCrashByz
 	loo   JointCrashByz
 }
+
+// looDeflations counts O(n^2) back-substitution deflations; looRebuilds
+// counts the from-scratch fallbacks taken when a node's correctness
+// probability sits below the stability threshold. Together they make the
+// "one build plus n deflations per gradient" claim scrapeable: a healthy
+// optimizer workload shows deflations >> rebuilds.
+var (
+	looDeflations = obs.Default().Counter("probcons_engine_loo_deflations_total",
+		"Leave-one-out O(n^2) back-substitution deflations of the joint DP.", nil)
+	looRebuilds = obs.Default().Counter("probcons_engine_loo_rebuilds_total",
+		"Leave-one-out from-scratch rebuild fallbacks (node correctness below stability threshold).", nil)
+)
+
+// LeaveOneOutDeflations returns the process-wide count of O(n^2)
+// leave-one-out deflations performed by Without.
+func LeaveOneOutDeflations() int64 { return looDeflations.Load() }
+
+// LeaveOneOutRebuilds returns the process-wide count of Without calls
+// that fell back to a from-scratch rebuild.
+func LeaveOneOutRebuilds() int64 { return looRebuilds.Load() }
 
 // looMinPCorrect is the deflation stability threshold: below this
 // per-node correctness probability the error-amplification ratio
@@ -71,11 +93,13 @@ func (l *LeaveOneOut) Without(i int) *JointCrashByz {
 	pc, pb, pok := clampTri(l.nodes[i])
 	n := len(l.nodes)
 	if pok < looMinPCorrect {
+		looRebuilds.Add(1)
 		l.rest = append(l.rest[:0], l.nodes[:i]...)
 		l.rest = append(l.rest, l.nodes[i+1:]...)
 		l.loo.Reset(l.rest)
 		return &l.loo
 	}
+	looDeflations.Add(1)
 	m := n - 1 // leave-one-out fleet size
 	wf := n + 1
 	w := m + 1

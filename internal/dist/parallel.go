@@ -4,7 +4,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
+
+// parallelFolds counts row-split activations: folds or convolutions that
+// actually fanned out across the worker group (rows >= threshold and more
+// than one worker available). The serial small-N path never bumps it, so
+// the metric directly answers "is the parallel engine engaging in
+// production?".
+var parallelFolds = obs.Default().Counter("probcons_engine_parallel_folds_total",
+	"Joint-DP folds/convolutions split across the bounded worker group.", nil)
+
+// ParallelFolds returns the process-wide count of parallel row-split
+// activations.
+func ParallelFolds() int64 { return parallelFolds.Load() }
 
 // This file is the bounded worker group behind the large-N joint-DP row
 // split: Reset folds and block convolutions write disjoint contiguous row
@@ -69,6 +83,7 @@ func splitRows(rows, workers int, fn func(lo, hi int)) {
 		fn(0, rows)
 		return
 	}
+	parallelFolds.Add(1)
 	chunk := (rows + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < rows; lo += chunk {

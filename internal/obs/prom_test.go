@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestExpositionConformance validates the text format line by line
+// against the version 0.0.4 grammar: HELP/TYPE headers precede samples,
+// metric and label names are legal, sample values parse, histogram
+// buckets are cumulative and end at le="+Inf" with _count matching.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests with a \\ backslash and\nnewline in help.", Labels{"endpoint": "analyze"})
+	c.Add(7)
+	r.Counter("test_requests_total", "Requests with a \\ backslash and\nnewline in help.", Labels{"endpoint": `we"ird\value`}).Inc()
+	g := r.Gauge("test_in_flight", "In-flight requests.", nil)
+	g.Set(3)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", nil, func() float64 { return 12.5 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1}, Labels{"endpoint": "analyze"})
+	// Powers of two: the sample sum renders exactly.
+	for _, v := range []float64{0.0078125, 0.0078125, 0.0625, 0.5, 4} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	var (
+		metricLine = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? (\+Inf|-Inf|NaN|[0-9eE.+-]+)$`)
+		helpLine   = regexp.MustCompile(`^# HELP ([a-zA-Z_][a-zA-Z0-9_]*) .*$`)
+		typeLine   = regexp.MustCompile(`^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (counter|gauge|histogram)$`)
+	)
+	typed := map[string]string{}
+	samples := map[string][]string{} // base family -> sample lines
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			if !helpLine.MatchString(line) {
+				t.Errorf("bad HELP line: %q", line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("bad TYPE line: %q", line)
+				continue
+			}
+			if _, dup := typed[m[1]]; dup {
+				t.Errorf("family %s typed twice", m[1])
+			}
+			typed[m[1]] = m[2]
+		default:
+			m := metricLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Errorf("bad sample line: %q", line)
+				continue
+			}
+			name := m[1]
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+			if _, ok := typed[base]; !ok {
+				base = name
+			}
+			if _, ok := typed[base]; !ok {
+				t.Errorf("sample %q precedes its TYPE header", line)
+				continue
+			}
+			samples[base] = append(samples[base], line)
+		}
+	}
+
+	if got := typed["test_requests_total"]; got != "counter" {
+		t.Errorf("test_requests_total type = %q", got)
+	}
+	if len(samples["test_requests_total"]) != 2 {
+		t.Errorf("want 2 counter children, got %v", samples["test_requests_total"])
+	}
+	if !strings.Contains(out, `test_requests_total{endpoint="analyze"} 7`) {
+		t.Errorf("missing counter sample in:\n%s", out)
+	}
+	if !strings.Contains(out, `endpoint="we\"ird\\value"`) {
+		t.Errorf("label value not escaped in:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP test_requests_total Requests with a \\ backslash and\nnewline in help.`) {
+		t.Errorf("help not escaped in:\n%s", out)
+	}
+	if !strings.Contains(out, "test_uptime_seconds 12.5") {
+		t.Errorf("gauge func sample missing in:\n%s", out)
+	}
+
+	// Histogram: cumulative buckets 2, 3, 4 then +Inf 5; sum; count.
+	wantHist := []string{
+		`test_latency_seconds_bucket{endpoint="analyze",le="0.01"} 2`,
+		`test_latency_seconds_bucket{endpoint="analyze",le="0.1"} 3`,
+		`test_latency_seconds_bucket{endpoint="analyze",le="1"} 4`,
+		`test_latency_seconds_bucket{endpoint="analyze",le="+Inf"} 5`,
+		`test_latency_seconds_sum{endpoint="analyze"} 4.578125`,
+		`test_latency_seconds_count{endpoint="analyze"} 5`,
+	}
+	for _, want := range wantHist {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing histogram line %q in:\n%s", want, out)
+		}
+	}
+
+	// Every numeric sample value must parse as a float.
+	for _, lines := range samples {
+		for _, line := range lines {
+			val := line[strings.LastIndexByte(line, ' ')+1:]
+			if _, err := strconv.ParseFloat(strings.TrimPrefix(val, "+"), 64); err != nil {
+				t.Errorf("unparseable value in %q: %v", line, err)
+			}
+		}
+	}
+}
+
+func TestHandlerContentTypeAndMerging(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("aaa_total", "a", nil).Inc()
+	b := NewRegistry()
+	b.Counter("bbb_total", "b", nil).Add(2)
+	srv := httptest.NewServer(Handler(a, b))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != ContentType {
+		t.Errorf("Content-Type = %q, want %q", got, ContentType)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	out := string(buf[:n])
+	if !strings.Contains(out, "aaa_total 1") || !strings.Contains(out, "bbb_total 2") {
+		t.Errorf("merged output missing families:\n%s", out)
+	}
+
+	req, _ := srv.Client().Post(srv.URL, "", nil)
+	if req.StatusCode != 405 {
+		t.Errorf("POST /metrics = %d, want 405", req.StatusCode)
+	}
+}
+
+func TestLabelOrderIsSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ord_total", "h", Labels{"zz": "1", "aa": "2", "mm": "3"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `ord_total{aa="2",mm="3",zz="1"} 1`) {
+		t.Errorf("labels not sorted:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,47 @@
+package obs
+
+import "time"
+
+// Span is one named, timed stage of a request: fingerprinting, the cache
+// lookup, the engine run. Spans are the request-scoped counterpart of
+// the histograms — per-request wall-clock attribution instead of
+// aggregate distributions.
+type Span struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Spans is a lightweight span recorder: an append-only list of named
+// durations with no clock of its own (callers time with time.Now /
+// time.Since, so a nil *Spans costs nothing on undebugged requests). Not
+// safe for concurrent use; one request owns one recorder.
+type Spans struct {
+	spans []Span
+}
+
+// Observe appends one completed span. A nil receiver is a no-op, so
+// instrumented code can record unconditionally and let the caller decide
+// whether tracing is on.
+func (s *Spans) Observe(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.spans = append(s.spans, Span{Name: name, Duration: d})
+}
+
+// Since records a span covering start..now.
+func (s *Spans) Since(name string, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.Observe(name, time.Since(start))
+}
+
+// All returns the recorded spans in observation order. The slice is owned
+// by the recorder.
+func (s *Spans) All() []Span {
+	if s == nil {
+		return nil
+	}
+	return s.spans
+}

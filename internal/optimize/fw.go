@@ -3,6 +3,21 @@ package optimize
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
+)
+
+// Solver traffic counters, registered on the process-global obs registry:
+// the FrankWolfe.jl-style per-iteration discipline (arxiv 2104.06675)
+// reduced to what a fleet dashboard needs — how many solves ran, how many
+// conditional-gradient iterations and LMO calls they spent. Each gradient
+// costs a DP build plus N deflations, so iterations_total is the direct
+// proxy for optimizer engine load.
+var (
+	fwSolves = obs.Default().Counter("probcons_optimize_solves_total",
+		"Frank-Wolfe solves started (vanilla and away-step).", nil)
+	fwIterations = obs.Default().Counter("probcons_optimize_iterations_total",
+		"Frank-Wolfe iterations across all solves (one LMO call and at least one gradient each).", nil)
 )
 
 // Objective is a smooth function with a gradient, the thing the solvers
@@ -146,7 +161,9 @@ func FrankWolfe(obj Objective, p Polytope, opts Options) (Solution, error) {
 	grad := make([]float64, n)
 	d := make([]float64, n)
 	sol := Solution{}
+	fwSolves.Inc()
 	for t := 0; t < opts.MaxIterations; t++ {
+		fwIterations.Inc()
 		obj.Grad(x, grad)
 		v := p.LinearMinimize(grad)
 		for i := range d {
@@ -261,7 +278,9 @@ func AwayStepFrankWolfe(obj Objective, p Polytope, opts Options) (Solution, erro
 	grad := make([]float64, n)
 	d := make([]float64, n)
 	sol := Solution{}
+	fwSolves.Inc()
 	for t := 0; t < opts.MaxIterations; t++ {
+		fwIterations.Inc()
 		obj.Grad(x, grad)
 		s := p.LinearMinimize(grad)
 		fwGap := dot(grad, x) - dot(grad, s)

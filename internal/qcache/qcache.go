@@ -4,7 +4,8 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Stats is a point-in-time snapshot of cache effectiveness counters.
@@ -50,10 +51,10 @@ type shard[V any] struct {
 // construct with New. All methods are safe for concurrent use.
 type Cache[V any] struct {
 	shards    []*shard[V]
-	hits      atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
+	hits      obs.Counter
+	misses    obs.Counter
+	coalesced obs.Counter
+	evictions obs.Counter
 }
 
 // New builds a cache holding up to capacity entries spread over nshards
@@ -208,6 +209,14 @@ func (c *Cache[V]) Len() int {
 		s.mu.Unlock()
 	}
 	return n
+}
+
+// Counters exposes the cache's live hit/miss/coalesced/eviction counters
+// for registration in an obs.Registry: the counters stay owned (and
+// updated) by the cache, the registry only reads them at scrape time, so
+// /statsz and /metrics report from the very same atomics.
+func (c *Cache[V]) Counters() (hits, misses, coalesced, evictions *obs.Counter) {
+	return &c.hits, &c.misses, &c.coalesced, &c.evictions
 }
 
 // Stats snapshots the counters.

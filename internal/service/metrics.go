@@ -1,0 +1,221 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is the serving layer's observability plane: the per-server
+// obs registry every counter the old /statsz atomics migrated onto, the
+// HTTP middleware recording per-endpoint traffic and latency, and the
+// request-ID plumbing of the structured access log. GET /metrics exposes
+// this registry plus the process-global engine registry (obs.Default());
+// docs/OBSERVABILITY.md inventories every family.
+
+// endpoints instrumented by the middleware, in mux order.
+var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "healthz", "statsz", "metrics"}
+
+// codeClasses label the status-class counters.
+var codeClasses = []string{"2xx", "3xx", "4xx", "5xx"}
+
+// endpointMetrics is one endpoint's middleware instrumentation.
+type endpointMetrics struct {
+	codes    map[string]*obs.Counter
+	inFlight *obs.Gauge
+	latency  *obs.Histogram
+}
+
+func (em *endpointMetrics) code(status int) *obs.Counter {
+	class := status / 100
+	if class < 2 || class > 5 {
+		class = 5
+	}
+	return em.codes[codeClasses[class-2]]
+}
+
+// serverMetrics holds every metric handle of one Server. The request,
+// memo, and pool counters are the direct descendants of the PR-2
+// atomic.Int64 fields; /statsz reads the very same values back from
+// these handles, so the JSON stays value- and shape-compatible.
+type serverMetrics struct {
+	endpoints map[string]*endpointMetrics
+
+	reqAnalyze  *obs.Counter
+	reqSweep    *obs.Counter
+	reqTables   *obs.Counter
+	reqOptimize *obs.Counter
+
+	memoHits    *obs.Counter
+	sweepCells  *obs.Counter
+	activeCells *obs.Gauge
+	workers     *obs.Gauge
+
+	analyzeHit  *obs.Histogram
+	analyzeMiss *obs.Histogram
+}
+
+// newServerMetrics registers the server's metric families on reg.
+func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
+	m := serverMetrics{endpoints: map[string]*endpointMetrics{}}
+	for _, ep := range endpointNames {
+		em := &endpointMetrics{codes: map[string]*obs.Counter{}}
+		for _, class := range codeClasses {
+			em.codes[class] = reg.Counter("probconsd_http_requests_total",
+				"HTTP requests served, by endpoint and status class.",
+				obs.Labels{"endpoint": ep, "code": class})
+		}
+		em.inFlight = reg.Gauge("probconsd_http_in_flight_requests",
+			"Requests currently being served, by endpoint.",
+			obs.Labels{"endpoint": ep})
+		em.latency = reg.Histogram("probconsd_http_request_seconds",
+			"Wall-clock request latency, by endpoint.",
+			obs.LatencyBuckets, obs.Labels{"endpoint": ep})
+		m.endpoints[ep] = em
+	}
+
+	const apiHelp = "API requests accepted per endpoint (method-matched; the /statsz requests block)."
+	m.reqAnalyze = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "analyze"})
+	m.reqSweep = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "sweep"})
+	m.reqTables = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "tables"})
+	m.reqOptimize = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "optimize"})
+
+	m.memoHits = reg.Counter("probconsd_memo_hits_total",
+		"Analyze queries answered by the L0 most-recent-query memo.", nil)
+	m.sweepCells = reg.Counter("probconsd_sweep_cells_total",
+		"Sweep grid cells computed.", nil)
+	m.activeCells = reg.Gauge("probconsd_sweep_active_cells",
+		"Sweep grid cells currently computing.", nil)
+	m.workers = reg.Gauge("probconsd_pool_workers",
+		"Configured engine worker-pool size.", nil)
+
+	const analyzeHelp = "Analyze query latency through the two-level cache, labeled hit (L0 memo or L1 fingerprint hit) vs miss (engine compute, coalesced waits included)."
+	m.analyzeHit = reg.Histogram("probconsd_analyze_seconds", analyzeHelp,
+		obs.LatencyBuckets, obs.Labels{"cache": "hit"})
+	m.analyzeMiss = reg.Histogram("probconsd_analyze_seconds", analyzeHelp,
+		obs.LatencyBuckets, obs.Labels{"cache": "miss"})
+
+	registerCache(reg, "analyze", s.cache.Counters, s.cache.Len)
+	registerCache(reg, "optimize", s.ocache.Counters, s.ocache.Len)
+
+	reg.GaugeFunc("probconsd_uptime_seconds", "Seconds since the server was constructed.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	return m
+}
+
+// registerCache attaches one qcache's live counters and size gauges under
+// the shared probconsd_cache_* families, labeled by cache name.
+func registerCache(reg *obs.Registry, name string,
+	counters func() (hits, misses, coalesced, evictions *obs.Counter),
+	length func() int) {
+	hits, misses, coalesced, evictions := counters()
+	labels := obs.Labels{"cache": name}
+	reg.RegisterCounter("probconsd_cache_hits_total", "Result-cache lookups answered from cache.", labels, hits)
+	reg.RegisterCounter("probconsd_cache_misses_total", "Result-cache lookups that ran the compute function.", labels, misses)
+	reg.RegisterCounter("probconsd_cache_coalesced_total", "Result-cache lookups that piggybacked on an in-flight identical computation.", labels, coalesced)
+	reg.RegisterCounter("probconsd_cache_evictions_total", "Result-cache entries dropped by the LRU policy.", labels, evictions)
+	reg.GaugeFunc("probconsd_cache_entries", "Result-cache entries currently held.", labels,
+		func() float64 { return float64(length()) })
+}
+
+// reqIDPrefix is a per-process random prefix so request IDs from
+// different probconsd instances behind one load balancer never collide in
+// aggregated logs; reqIDSeq makes IDs unique and ordered within the
+// process.
+var (
+	reqIDPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return fmt.Sprintf("%08x", time.Now().UnixNano()&0xffffffff)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDSeq atomic.Uint64
+)
+
+type requestIDKey struct{}
+
+// RequestID returns the request ID the middleware assigned to this
+// request's context, or "" outside an instrumented request.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// statusWriter captures the response status for the middleware. It
+// forwards Flush so the sweep streamer's per-line flushing still reaches
+// the client through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one endpoint handler with the observability
+// middleware: request-ID assignment, in-flight gauge, per-endpoint
+// latency histogram, status-class counters, and (when a logger is
+// configured) one structured access-log line per request.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.m.endpoints[endpoint]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := fmt.Sprintf("%s-%08x", reqIDPrefix, reqIDSeq.Add(1))
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		em.inFlight.Inc()
+		h(sw, r)
+		em.inFlight.Dec()
+		d := time.Since(start)
+		em.latency.ObserveDuration(d)
+		em.code(sw.status).Inc()
+		if s.logger != nil {
+			s.logger.Info("request",
+				"id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"endpoint", endpoint,
+				"status", sw.status,
+				"duration_ms", float64(d.Nanoseconds())/1e6,
+				"remote", r.RemoteAddr,
+			)
+		}
+	}
+}
+
+// LatencySummary is one endpoint's rolling latency digest in /statsz:
+// the count/mean plus interpolated quantiles of the same histogram
+// /metrics exposes in full.
+type LatencySummary struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+}
+
+func summarize(h *obs.Histogram) LatencySummary {
+	s := h.Snapshot()
+	return LatencySummary{
+		Count:       s.Count,
+		MeanSeconds: s.Mean(),
+		P50Seconds:  s.Quantile(0.50),
+		P90Seconds:  s.Quantile(0.90),
+		P99Seconds:  s.Quantile(0.99),
+	}
+}

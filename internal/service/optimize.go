@@ -306,7 +306,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	s.reqOptimize.Add(1)
+	s.m.reqOptimize.Inc()
 	var req OptimizeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)

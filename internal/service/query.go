@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
 	"repro/internal/inputcheck"
+	"repro/internal/obs"
 )
 
 // This file defines the canonical query model of the serving layer: the
@@ -204,6 +205,10 @@ type AnalyzeRequest struct {
 	Fleet   []NodeSpec   `json:"fleet,omitempty"`
 	P       *float64     `json:"p,omitempty"`
 	Domains []DomainSpec `json:"domains,omitempty"`
+	// Debug opts this request into the response's debug block: the cache
+	// verdict, per-stage span timings, and the request ID. It never
+	// changes the answer and does not partition the caches.
+	Debug bool `json:"debug,omitempty"`
 }
 
 // MaxAnalyzeWork bounds the estimated engine cost of one analyze query in
@@ -297,6 +302,35 @@ type AnalyzeResponse struct {
 	Nines       float64     `json:"nines"`
 	Fingerprint string      `json:"fingerprint"`
 	Cached      bool        `json:"cached"`
+	// Debug is present only when the request set debug: true.
+	Debug *DebugInfo `json:"debug,omitempty"`
+}
+
+// SpanView is one timed stage of a debugged request.
+type SpanView struct {
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+}
+
+// DebugInfo is the opt-in per-request observability block: where the
+// answer came from ("l0_hit", "l1_hit", "coalesced", or "miss"), how
+// long each stage took, and the access-log request ID to grep for.
+type DebugInfo struct {
+	RequestID string     `json:"request_id,omitempty"`
+	Cache     string     `json:"cache"`
+	Spans     []SpanView `json:"spans,omitempty"`
+}
+
+func spanViews(sp *obs.Spans) []SpanView {
+	all := sp.All()
+	if len(all) == 0 {
+		return nil
+	}
+	out := make([]SpanView, len(all))
+	for i, s := range all {
+		out[i] = SpanView{Stage: s.Name, Seconds: s.Duration.Seconds()}
+	}
+	return out
 }
 
 // nameCache memoizes CountModel.Name() renderings: the name of a model

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faultcurve"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 )
 
@@ -35,6 +37,10 @@ type Options struct {
 	// engine (reducing to core.Analyze semantics for domain-free fleets).
 	// Tests instrument it to count underlying engine calls.
 	AnalyzeFunc func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
+	// Logger, when non-nil, receives one structured access-log line per
+	// HTTP request (request ID, endpoint, status, duration). nil disables
+	// access logging; metrics are always on.
+	Logger *slog.Logger
 }
 
 // Server is the probconsd request handler: stateless except for the
@@ -55,14 +61,16 @@ type Server struct {
 	workers int
 	sem     chan struct{}
 	start   time.Time
+	logger  *slog.Logger
 
-	memoHits    atomic.Int64
-	reqAnalyze  atomic.Int64
-	reqSweep    atomic.Int64
-	reqTables   atomic.Int64
-	reqOptimize atomic.Int64
-	sweepCells  atomic.Int64
-	activeCells atomic.Int64
+	// reg holds the server-scoped probconsd_* metric families; engine
+	// families live on the process-global obs.Default() registry and the
+	// two are merged at /metrics. Per-server registries keep multi-Server
+	// processes (tests) free of duplicate-registration panics. All former
+	// /statsz atomics live in m now — /statsz reads the same counters the
+	// Prometheus endpoint exports.
+	reg *obs.Registry
+	m   serverMetrics
 }
 
 // memoEntry is the L0 cache line: one fully-rendered response plus a
@@ -74,7 +82,9 @@ type memoEntry struct {
 
 // equalRequests reports value equality of two analyze requests. NaN
 // probabilities compare unequal and fall through to validation, which
-// rejects them.
+// rejects them. Debug is deliberately excluded: it changes only the
+// response's debug block (rebuilt per request), never the answer, so a
+// debugged request may hit the memo a non-debugged one installed.
 func equalRequests(a, b AnalyzeRequest) bool {
 	if a.Model != b.Model || len(a.Fleet) != len(b.Fleet) || len(a.Domains) != len(b.Domains) {
 		return false
@@ -137,14 +147,19 @@ func New(opts Options) *Server {
 		// stop allocating DP tables.
 		opts.AnalyzeFunc = core.NewEvaluatorPool().AnalyzeDomains
 	}
-	return &Server{
+	s := &Server{
 		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
 		ocache:  qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
 		analyze: opts.AnalyzeFunc,
 		workers: opts.Workers,
 		sem:     make(chan struct{}, opts.Workers),
 		start:   time.Now(),
+		logger:  opts.Logger,
+		reg:     obs.NewRegistry(),
 	}
+	s.m = newServerMetrics(s.reg, s)
+	s.m.workers.Set(int64(opts.Workers))
+	return s
 }
 
 // clientError marks a validation failure: reported as HTTP 400, never 500.
@@ -165,24 +180,41 @@ func IsClientError(err error) bool {
 // two-level cache. It is the handler's core and the service benchmark
 // entry point.
 func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
+	start := time.Now()
 	// L0: the exact same query as last time short-circuits everything.
+	// The memo branch stays allocation-free unless debugging was asked
+	// for (pinned by TestAnalyzeHotPathAllocationGuard).
 	if e := s.memo.Load(); e != nil && equalRequests(e.req, req) {
-		s.memoHits.Add(1)
+		s.m.memoHits.Inc()
 		resp := e.resp
 		resp.Cached = true
+		s.m.analyzeHit.ObserveSince(start)
+		if req.Debug {
+			spans := &obs.Spans{}
+			spans.Since("memo_lookup", start)
+			resp.Debug = &DebugInfo{Cache: "l0_hit", Spans: spanViews(spans)}
+		}
 		return resp, nil
 	}
+	var spans *obs.Spans
+	if req.Debug {
+		spans = &obs.Spans{} // nil otherwise: span recording costs nothing undebugged
+	}
+	rstart := time.Now()
 	fleet, m, domains, err := req.Query()
 	if err != nil {
 		return AnalyzeResponse{}, badRequest(err)
 	}
-	resp, err := s.analyzeQuery(fleet, m, domains)
+	spans.Since("resolve", rstart)
+	resp, outcome, err := s.analyzeQuery(fleet, m, domains, spans)
 	if err != nil {
 		return AnalyzeResponse{}, err
 	}
 	// Install in L0 with a private copy of the request: callers remain
-	// free to mutate their fleet and domains slices afterwards.
+	// free to mutate their fleet and domains slices afterwards. The memo
+	// never stores a debug block — it is rebuilt per request.
 	cp := req
+	cp.Debug = false
 	cp.Fleet = append([]NodeSpec(nil), req.Fleet...)
 	if req.P != nil {
 		p := *req.P
@@ -201,6 +233,9 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 		cp.Domains[i] = d
 	}
 	s.memo.Store(&memoEntry{req: cp, resp: resp})
+	if req.Debug {
+		resp.Debug = &DebugInfo{Cache: outcome, Spans: spanViews(spans)}
+	}
 	return resp, nil
 }
 
@@ -210,25 +245,54 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 // burst of distinct O(N^3) queries cannot pin every CPU. Only engine
 // computes take slots and computes wait for nothing else, so no hold-and-
 // wait cycle exists.
-func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet) (AnalyzeResponse, error) {
+//
+// spans may be nil (recording is then a no-op). The returned outcome is
+// the cache verdict for the debug block and the hit/miss latency split:
+// "l1_hit", "miss" (this call ran the engine), or "coalesced" (an
+// identical in-flight computation was shared).
+func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet, spans *obs.Spans) (AnalyzeResponse, string, error) {
+	qstart := time.Now()
 	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
 	if err != nil {
-		return AnalyzeResponse{}, badRequest(err)
+		return AnalyzeResponse{}, "", badRequest(err)
 	}
+	spans.Since("fingerprint", qstart)
+	lstart := time.Now()
+	computed := false
 	resp, cached, err := s.cache.Do(fp.String(), func() (AnalyzeResponse, error) {
+		computed = true
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
+		estart := time.Now()
 		res, err := s.analyze(fleet, m, domains)
+		spans.Since("engine", estart)
 		if err != nil {
 			return AnalyzeResponse{}, err
 		}
 		return newAnalyzeResponse(m, res, fp.String(), false), nil
 	})
 	if err != nil {
-		return AnalyzeResponse{}, fmt.Errorf("analysis failed: %w", err)
+		return AnalyzeResponse{}, "", fmt.Errorf("analysis failed: %w", err)
+	}
+	if !computed {
+		// Hit or coalesced wait: attribute the whole lookup (including any
+		// wait on the winning flight) to the cache. On computes the engine
+		// span already covers the interesting interval.
+		spans.Since("cache_lookup", lstart)
+	}
+	outcome := "miss"
+	switch {
+	case cached:
+		outcome = "l1_hit"
+		s.m.analyzeHit.ObserveSince(qstart)
+	case computed:
+		s.m.analyzeMiss.ObserveSince(qstart)
+	default:
+		outcome = "coalesced"
+		s.m.analyzeMiss.ObserveSince(qstart)
 	}
 	resp.Cached = cached
-	return resp, nil
+	return resp, outcome, nil
 }
 
 // Sweep validates the request, then computes its (n, p) grid with up to
@@ -288,10 +352,10 @@ func (s *Server) sweepValidated(ctx context.Context, req SweepRequest, w io.Writ
 		go func() {
 			for i := range idxCh {
 				c := cells[i]
-				s.activeCells.Add(1)
+				s.m.activeCells.Inc()
 				results[i] = s.sweepCell(req.Protocol, req.Ns[c.n], req.Ps[c.p], domains)
-				s.activeCells.Add(-1)
-				s.sweepCells.Add(1)
+				s.m.activeCells.Dec()
+				s.m.sweepCells.Inc()
 				completed <- i
 			}
 		}()
@@ -346,7 +410,7 @@ func (s *Server) sweepCell(protocol string, n int, p float64, domains core.Domai
 	fp := getSweepFleet(protocol, n, p)
 	fleet := *fp
 	assignRoundRobin(fleet, domains)
-	resp, err := s.analyzeQuery(fleet, m, domains)
+	resp, _, err := s.analyzeQuery(fleet, m, domains, nil)
 	putSweepFleet(fp)
 	if err != nil {
 		line.Error = err.Error()
@@ -399,7 +463,7 @@ func (s *Server) Tables() (TablesResponse, error) {
 	var out TablesResponse
 	for _, m := range core.Table1Configs() {
 		const pu = 0.01
-		resp, err := s.analyzeQuery(core.UniformByzFleet(m.NNodes, pu), m, nil)
+		resp, _, err := s.analyzeQuery(core.UniformByzFleet(m.NNodes, pu), m, nil, nil)
 		if err != nil {
 			return TablesResponse{}, err
 		}
@@ -408,7 +472,7 @@ func (s *Server) Tables() (TablesResponse, error) {
 	for _, n := range core.Table2Sizes() {
 		m := core.NewRaft(n)
 		for _, pu := range core.Table2PUs() {
-			resp, err := s.analyzeQuery(core.UniformCrashFleet(n, pu), m, nil)
+			resp, _, err := s.analyzeQuery(core.UniformCrashFleet(n, pu), m, nil, nil)
 			if err != nil {
 				return TablesResponse{}, err
 			}
@@ -460,39 +524,70 @@ type StatsResponse struct {
 	Pool          PoolStats    `json:"pool"`
 	Requests      RequestStats `json:"requests"`
 	UptimeSeconds float64      `json:"uptime_seconds"`
+	// Latency summarizes the per-endpoint request-latency histograms
+	// (count, mean, interpolated p50/p90/p99) for the four API endpoints.
+	// The full distributions are on /metrics as
+	// probconsd_http_request_seconds.
+	Latency map[string]LatencySummary `json:"latency"`
 }
 
-// Stats snapshots all service counters.
+// Stats snapshots all service counters. Every value is read from the
+// same obs metrics /metrics exports; /statsz is a JSON view of the
+// registry, not a second counter set.
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Cache:         s.cache.Stats(),
 		OptimizeCache: s.ocache.Stats(),
-		Memo:          MemoStats{Hits: s.memoHits.Load()},
+		Memo:          MemoStats{Hits: s.m.memoHits.Load()},
 		Pool: PoolStats{
 			Workers:     s.workers,
-			ActiveCells: s.activeCells.Load(),
-			CellsDone:   s.sweepCells.Load(),
+			ActiveCells: s.m.activeCells.Load(),
+			CellsDone:   s.m.sweepCells.Load(),
 		},
 		Requests: RequestStats{
-			Analyze:  s.reqAnalyze.Load(),
-			Sweep:    s.reqSweep.Load(),
-			Tables:   s.reqTables.Load(),
-			Optimize: s.reqOptimize.Load(),
+			Analyze:  s.m.reqAnalyze.Load(),
+			Sweep:    s.m.reqSweep.Load(),
+			Tables:   s.m.reqTables.Load(),
+			Optimize: s.m.reqOptimize.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Latency: map[string]LatencySummary{
+			"analyze":  summarize(s.m.endpoints["analyze"].latency),
+			"sweep":    summarize(s.m.endpoints["sweep"].latency),
+			"optimize": summarize(s.m.endpoints["optimize"].latency),
+			"tables":   summarize(s.m.endpoints["tables"].latency),
+		},
 	}
 }
 
-// Handler returns the service's HTTP mux.
+// Handler returns the service's HTTP mux. Every route runs through the
+// observability middleware; /metrics additionally exposes the merged
+// server + engine registries in Prometheus text format.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
-	mux.HandleFunc("/v1/sweep", s.handleSweep)
-	mux.HandleFunc("/v1/optimize", s.handleOptimize)
-	mux.HandleFunc("/v1/tables", s.handleTables)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
+	mux.HandleFunc("/v1/tables", s.instrument("tables", s.handleTables))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/statsz", s.instrument("statsz", s.handleStatsz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.MetricsHandler().ServeHTTP))
 	return mux
+}
+
+// MetricsHandler serves GET /metrics: this server's probconsd_* families
+// merged with the process-global engine registry (probcons_engine_*,
+// probcons_optimize_*). Exposed separately so cmd/probconsd can also
+// mount it on a private ops listener (-metrics-addr).
+func (s *Server) MetricsHandler() http.Handler {
+	return obs.Handler(s.reg, obs.Default())
+}
+
+// MetricFamilies lists every family /metrics exports for this server —
+// server registry first, then the process-global engine registry. The
+// docs coverage test pins docs/OBSERVABILITY.md against this list.
+func (s *Server) MetricFamilies() []obs.FamilyInfo {
+	return append(s.reg.Families(), obs.Default().Families()...)
 }
 
 // maxBodyBytes bounds request bodies; the largest legal request is an
@@ -542,7 +637,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	s.reqAnalyze.Add(1)
+	s.m.reqAnalyze.Inc()
 	var req AnalyzeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
@@ -553,6 +648,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	if resp.Debug != nil {
+		resp.Debug.RequestID = RequestID(r.Context())
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -560,7 +658,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
-	s.reqSweep.Add(1)
+	s.m.reqSweep.Inc()
 	var req SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, err)
@@ -581,7 +679,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	s.reqTables.Add(1)
+	s.m.reqTables.Inc()
 	resp, err := s.Tables()
 	if err != nil {
 		writeError(w, err)
