@@ -6,13 +6,18 @@
 //
 //	probsim -protocol raft -n 5 -afr 0.3 -hours 8766 -ops 20 -seed 7
 //	probsim -protocol pbft -n 4 -silent 1
+//	probsim -campaign raft-n5            # predicted-vs-measured campaign
+//	probsim -campaign smoke -json        # machine-readable report
+//	probsim -campaigns                   # list the schedule catalog
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/faultcurve"
 	"repro/internal/inputcheck"
@@ -30,8 +35,21 @@ func main() {
 		ops      = flag.Int("ops", 20, "operations to drive")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		silent   = flag.Int("silent", 0, "Byzantine-silent nodes (pbft)")
+		camp     = flag.String("campaign", "", "run a named predicted-vs-measured campaign schedule and exit (see -campaigns)")
+		campJSON = flag.Bool("json", false, "emit the campaign report as JSON instead of a table")
+		campList = flag.Bool("campaigns", false, "list the campaign schedule catalog and exit")
+		campSeed = flag.Int64("campaign-seed", 0, "override the schedule's pinned seed (0 keeps it)")
 	)
 	flag.Parse()
+
+	if *campList {
+		listCampaigns()
+		return
+	}
+	if *camp != "" {
+		runCampaign(*camp, *campSeed, *campJSON)
+		return
+	}
 
 	// Shared with the probconsd request validator (internal/inputcheck).
 	exitOn(inputcheck.CheckClusterSize(*n))
@@ -107,6 +125,42 @@ func runPBFT(n, silent, ops int, seed int64) {
 	model := core.NewPBFTForN(n)
 	fmt.Printf("  theorem 3.1 for this configuration: safe=%v live=%v\n",
 		model.Safe(0, silent), model.Live(0, silent))
+}
+
+// listCampaigns prints the schedule catalog.
+func listCampaigns() {
+	for _, s := range campaign.Schedules() {
+		fmt.Printf("%-16s seed=%-4d %d cells:", s.Name, s.Seed, len(s.Cells))
+		for _, c := range s.Cells {
+			fmt.Printf(" %s(%s,n=%d,t=%d)", c.Name, c.Protocol, c.N, c.Trials)
+		}
+		fmt.Println()
+	}
+}
+
+// runCampaign executes one named schedule and exits non-zero on a "fail"
+// verdict, so CI can gate on the closed loop directly.
+func runCampaign(name string, seedOverride int64, asJSON bool) {
+	spec, ok := campaign.Lookup(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "probsim: unknown campaign %q (try -campaigns)\n", name)
+		os.Exit(1)
+	}
+	if seedOverride != 0 {
+		spec.Seed = seedOverride
+	}
+	rep, err := campaign.NewRunner().Run(spec)
+	exitOn(err)
+	if asJSON {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		exitOn(err)
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Format())
+	}
+	if rep.Verdict != "pass" {
+		os.Exit(2)
+	}
 }
 
 func crashedIDs(faults []sim.Fault) []int {

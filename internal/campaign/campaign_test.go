@@ -1,0 +1,213 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultcurve"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestRaftN5AcceptanceCampaign is the PR's acceptance criterion: the
+// pinned-seed N=5 Raft campaign's Wilson 99% intervals must cover the
+// exact engine's prediction for every scheduled configuration — baseline
+// crashes, correlated zone shocks, an election storm, and a rolling
+// upgrade — and no individual trial may contradict the theorem at its
+// realized failure configuration.
+func TestRaftN5AcceptanceCampaign(t *testing.T) {
+	spec, ok := Lookup("raft-n5")
+	if !ok {
+		t.Fatal("raft-n5 schedule missing from the catalog")
+	}
+	rep, err := NewRunner().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Cells) != len(spec.Cells) {
+		t.Fatalf("got %d cell reports, want %d", len(rep.Cells), len(spec.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.ConfigMismatches != 0 {
+			t.Errorf("cell %q: %d trials contradicted the theorem at their realized configuration", c.Name, c.ConfigMismatches)
+		}
+		if !c.Covered {
+			t.Errorf("cell %q: Wilson 99%% interval [%.6f, %.6f] does not cover the exact prediction %.6f",
+				c.Name, c.WilsonLo, c.WilsonHi, c.PredictedLive)
+		}
+		if c.WilsonLo > c.MeasuredLive || c.MeasuredLive > c.WilsonHi {
+			t.Errorf("cell %q: measured %.6f outside its own interval [%.6f, %.6f]",
+				c.Name, c.MeasuredLive, c.WilsonLo, c.WilsonHi)
+		}
+		if !c.Covered == (c.Divergence == 0) {
+			// Divergence must be consistent with the measured/predicted pair.
+			if got := c.MeasuredLive - c.PredictedLive; got != c.Divergence {
+				t.Errorf("cell %q: divergence %v != measured-predicted %v", c.Name, c.Divergence, got)
+			}
+		}
+	}
+	if rep.Verdict != "pass" {
+		t.Fatalf("verdict %q, want pass\n%s", rep.Verdict, rep.Format())
+	}
+	t.Logf("\n%s", rep.Format())
+}
+
+// TestCampaignDeterminism pins the contract the report cache and golden
+// file rely on: the same spec and seed produce byte-identical JSON, and
+// concurrent campaigns sharing one evaluator pool (the serving-layer
+// deployment shape) do not disturb each other. Run under -race this also
+// exercises the pool and trial workers for data races.
+func TestCampaignDeterminism(t *testing.T) {
+	spec, ok := Lookup("smoke")
+	if !ok {
+		t.Fatal("smoke schedule missing from the catalog")
+	}
+	pool := core.NewEvaluatorPool()
+	const runs = 4
+	reports := make([][]byte, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := &Runner{Pool: pool, Workers: 1 + i%3}
+			rep, err := r.Run(spec)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			b, err := json.Marshal(rep)
+			if err != nil {
+				t.Errorf("run %d: marshal: %v", i, err)
+				return
+			}
+			reports[i] = b
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < runs; i++ {
+		if !bytes.Equal(reports[0], reports[i]) {
+			t.Fatalf("run %d diverged from run 0 despite identical spec and seed:\n%s\nvs\n%s",
+				i, reports[0], reports[i])
+		}
+	}
+}
+
+// TestCampaignReportGolden pins the smoke schedule's full report JSON —
+// field order, Wilson bounds, divergences, verdict — against testdata.
+// Regenerate with: go test ./internal/campaign -run Golden -update
+func TestCampaignReportGolden(t *testing.T) {
+	spec, _ := Lookup("smoke")
+	rep, err := NewRunner().Run(spec)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "smoke_report.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report JSON drifted from golden %s (re-run with -update if intended)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestCatalogSchedulesValid ensures every shipped schedule passes its own
+// validator — the CLI and CI smoke job trust the catalog blindly.
+func TestCatalogSchedulesValid(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Schedules() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("catalog schedule %q invalid: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("catalog has duplicate schedule name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if _, ok := Lookup(s.Name); !ok {
+			t.Errorf("Lookup(%q) misses a catalog schedule", s.Name)
+		}
+	}
+	if _, ok := Lookup("no-such-schedule"); ok {
+		t.Error("Lookup invented a schedule")
+	}
+}
+
+// TestScheduleValidateRejects sweeps the validator's rejection surface.
+func TestScheduleValidateRejects(t *testing.T) {
+	good := func() ScheduleSpec {
+		return ScheduleSpec{
+			Name: "s",
+			Cells: []CellSpec{
+				{Name: "c", Protocol: "raft", N: 3, PCrash: 0.01, Trials: 2, Ops: 1},
+			},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*ScheduleSpec)
+	}{
+		{"empty name", func(s *ScheduleSpec) { s.Name = "" }},
+		{"no cells", func(s *ScheduleSpec) { s.Cells = nil }},
+		{"unnamed cell", func(s *ScheduleSpec) { s.Cells[0].Name = "" }},
+		{"duplicate cell", func(s *ScheduleSpec) { s.Cells = append(s.Cells, s.Cells[0]) }},
+		{"bad protocol", func(s *ScheduleSpec) { s.Cells[0].Protocol = "paxos" }},
+		{"n too small", func(s *ScheduleSpec) { s.Cells[0].N = 0 }},
+		{"n over sim bound", func(s *ScheduleSpec) { s.Cells[0].N = maxSimN + 1 }},
+		{"bad profile", func(s *ScheduleSpec) { s.Cells[0].PCrash = 1.5 }},
+		{"byzantine raft", func(s *ScheduleSpec) { s.Cells[0].PByz = 0.1 }},
+		{"zero trials", func(s *ScheduleSpec) { s.Cells[0].Trials = 0 }},
+		{"too many trials", func(s *ScheduleSpec) { s.Cells[0].Trials = maxTrials + 1 }},
+		{"zero ops", func(s *ScheduleSpec) { s.Cells[0].Ops = 0 }},
+		{"too many ops", func(s *ScheduleSpec) { s.Cells[0].Ops = maxOps + 1 }},
+		{"bad domain", func(s *ScheduleSpec) {
+			s.Cells[0].Domains = []faultcurve.Domain{{Name: "z", ShockProb: 2}}
+		}},
+		{"negative flaps", func(s *ScheduleSpec) { s.Cells[0].PartitionFlaps = -1 }},
+		{"too many flaps", func(s *ScheduleSpec) { s.Cells[0].PartitionFlaps = maxFlaps + 1 }},
+		{"cohorts over n", func(s *ScheduleSpec) { s.Cells[0].RollingCohorts = 4 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := good()
+			tc.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", s)
+			}
+		})
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("baseline spec must validate: %v", err)
+	}
+}
+
+// TestRunnerRejectsBadSetup covers the runner's own preconditions.
+func TestRunnerRejectsBadSetup(t *testing.T) {
+	if _, err := (&Runner{}).Run(ScheduleSpec{}); err == nil {
+		t.Error("Run accepted an invalid spec")
+	}
+	spec, _ := Lookup("smoke")
+	if _, err := (&Runner{}).Run(spec); err == nil {
+		t.Error("Run accepted a runner without a pool")
+	}
+}

@@ -1,0 +1,28 @@
+package campaign
+
+import "repro/internal/obs"
+
+// Campaign counters live on the process-global registry (probcons_*) so
+// they surface at /metrics of any embedding server and in probsim's
+// -metrics dump, like the engine counters do.
+var (
+	campaignRuns = obs.Default().Counter("probcons_campaign_runs_total",
+		"Campaign schedule executions completed.", nil)
+	campaignTrials = obs.Default().Counter("probcons_campaign_trials_total",
+		"Simulated protocol trials executed across all campaigns.", nil)
+	campaignCells = obs.Default().Counter("probcons_campaign_cells_total",
+		"Campaign cells (scheduled configurations) evaluated.", nil)
+	campaignUncovered = obs.Default().Counter("probcons_campaign_uncovered_cells_total",
+		"Cells whose Wilson 99% interval missed the exact-engine prediction.", nil)
+	campaignMismatches = obs.Default().Counter("probcons_campaign_config_mismatch_trials_total",
+		"Trials whose outcome contradicted the theorem at the realized configuration.", nil)
+)
+
+// recordReport bumps the campaign counters for one finished run.
+func recordReport(r *Report) {
+	campaignRuns.Inc()
+	campaignTrials.Add(int64(r.TotalTrials))
+	campaignCells.Add(int64(len(r.Cells)))
+	campaignUncovered.Add(int64(len(r.Uncovered)))
+	campaignMismatches.Add(int64(r.TotalMismatches))
+}

@@ -1,0 +1,157 @@
+package campaign
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// WilsonZ is the 99% two-sided normal quantile used for every campaign
+// confidence interval.
+const WilsonZ = dist.Z99
+
+// CellReport is the measured-vs-predicted record for one scheduled
+// configuration. Field order is fixed; the golden test pins the JSON.
+type CellReport struct {
+	Name     string `json:"name"`
+	Protocol string `json:"protocol"`
+	Model    string `json:"model"`
+	N        int    `json:"n"`
+	Trials   int    `json:"trials"`
+
+	// Empirical counts.
+	SafeTrials int `json:"safe_trials"`
+	LiveTrials int `json:"live_trials"`
+	OKTrials   int `json:"ok_trials"` // safe AND live
+
+	// MeasuredLive is the empirical liveness fraction — the statistic the
+	// Wilson interval brackets and the exact engine's Live must fall in.
+	MeasuredLive float64 `json:"measured_live"`
+	WilsonLo     float64 `json:"wilson_lo"`
+	WilsonHi     float64 `json:"wilson_hi"`
+
+	// Exact-engine prediction for the same fleet model.
+	PredictedLive float64 `json:"predicted_live"`
+	PredictedSafe float64 `json:"predicted_safe"`
+	PredictedOK   float64 `json:"predicted_ok"`
+
+	// Divergence is measured_live - predicted_live; Covered reports
+	// whether the Wilson 99% interval contains predicted_live.
+	Divergence float64 `json:"divergence"`
+	Covered    bool    `json:"covered"`
+
+	// ConfigMismatches counts trials whose individual outcome contradicts
+	// the theorem at the realized failure configuration — zero for a
+	// faithful implementation regardless of sampling noise.
+	ConfigMismatches int `json:"config_mismatches"`
+
+	// MaxChurn is the highest election term (Raft) or view (PBFT) any
+	// trial reached; SimSteps totals scheduler events across trials.
+	MaxChurn uint64 `json:"max_churn"`
+	SimSteps uint64 `json:"sim_steps"`
+}
+
+// Report is a full campaign run: per-cell records plus the aggregate
+// verdict. Field order is fixed; the golden test pins the JSON.
+type Report struct {
+	Schedule string       `json:"schedule"`
+	Seed     int64        `json:"seed"`
+	Z        float64      `json:"z"`
+	Cells    []CellReport `json:"cells"`
+
+	TotalTrials       int      `json:"total_trials"`
+	TotalMismatches   int      `json:"total_mismatches"`
+	Uncovered         []string `json:"uncovered"` // names of cells whose CI missed
+	MaxAbsDivergence  float64  `json:"max_abs_divergence"`
+	MeanAbsDivergence float64  `json:"mean_abs_divergence"`
+
+	// Verdict is "pass" iff every cell's Wilson interval covers its
+	// prediction and no trial contradicted the theorem, else "fail".
+	Verdict string `json:"verdict"`
+}
+
+// newCellReport folds trial outcomes into the cell's record.
+func newCellReport(cell CellSpec, model core.CountModel, predicted core.Result, outcomes []trialOutcome) CellReport {
+	cr := CellReport{
+		Name:          cell.Name,
+		Protocol:      cell.Protocol,
+		Model:         model.Name(),
+		N:             cell.N,
+		Trials:        len(outcomes),
+		PredictedLive: predicted.Live,
+		PredictedSafe: predicted.Safe,
+		PredictedOK:   predicted.SafeAndLive,
+	}
+	for _, o := range outcomes {
+		if o.safe {
+			cr.SafeTrials++
+		}
+		if o.live {
+			cr.LiveTrials++
+		}
+		if o.safe && o.live {
+			cr.OKTrials++
+		}
+		if o.mismatch {
+			cr.ConfigMismatches++
+		}
+		if o.churn > cr.MaxChurn {
+			cr.MaxChurn = o.churn
+		}
+		cr.SimSteps += o.steps
+	}
+	cr.MeasuredLive = float64(cr.LiveTrials) / float64(cr.Trials)
+	cr.WilsonLo, cr.WilsonHi = dist.WilsonInterval(cr.LiveTrials, cr.Trials, WilsonZ)
+	cr.Divergence = cr.MeasuredLive - cr.PredictedLive
+	cr.Covered = cr.WilsonLo <= cr.PredictedLive && cr.PredictedLive <= cr.WilsonHi
+	return cr
+}
+
+// finalize computes the aggregate statistics and verdict.
+func (r *Report) finalize() {
+	r.Uncovered = []string{}
+	var sumAbs float64
+	for _, c := range r.Cells {
+		r.TotalTrials += c.Trials
+		r.TotalMismatches += c.ConfigMismatches
+		if !c.Covered {
+			r.Uncovered = append(r.Uncovered, c.Name)
+		}
+		abs := math.Abs(c.Divergence)
+		sumAbs += abs
+		if abs > r.MaxAbsDivergence {
+			r.MaxAbsDivergence = abs
+		}
+	}
+	if len(r.Cells) > 0 {
+		r.MeanAbsDivergence = sumAbs / float64(len(r.Cells))
+	}
+	if len(r.Uncovered) == 0 && r.TotalMismatches == 0 {
+		r.Verdict = "pass"
+	} else {
+		r.Verdict = "fail"
+	}
+}
+
+// Format renders the report as an aligned text table for the CLI.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q (seed %d, z=%.4f)\n", r.Schedule, r.Seed, r.Z)
+	fmt.Fprintf(&b, "%-18s %-6s %7s %9s %9s %23s %9s %5s %5s\n",
+		"cell", "proto", "trials", "measured", "predicted", "wilson99", "diverge", "miss", "ok")
+	for _, c := range r.Cells {
+		cov := "yes"
+		if !c.Covered {
+			cov = "NO"
+		}
+		fmt.Fprintf(&b, "%-18s %-6s %7d %9.5f %9.5f [%9.5f,%9.5f] %+9.5f %5d %5s\n",
+			c.Name, c.Protocol, c.Trials, c.MeasuredLive, c.PredictedLive,
+			c.WilsonLo, c.WilsonHi, c.Divergence, c.ConfigMismatches, cov)
+	}
+	fmt.Fprintf(&b, "trials %d, mismatches %d, max|div| %.5f, mean|div| %.5f — verdict: %s\n",
+		r.TotalTrials, r.TotalMismatches, r.MaxAbsDivergence, r.MeanAbsDivergence, r.Verdict)
+	return b.String()
+}

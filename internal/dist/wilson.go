@@ -2,6 +2,10 @@ package dist
 
 import "math"
 
+// Z99 is the two-sided 99% normal critical value — the z every campaign
+// confidence interval and tail-endpoint error bar uses.
+const Z99 = 2.5758293035489004
+
 // WilsonInterval returns the Wilson score confidence interval for a
 // binomial proportion after observing hits successes in n trials, at
 // critical value z (1.96 for 95%). Unlike the normal approximation it

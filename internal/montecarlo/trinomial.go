@@ -1,0 +1,165 @@
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/faultcurve"
+)
+
+// Trinomial importance sampling: the deep-tail estimator behind the
+// service's /v1/tail endpoint. RunImportance folds crash and Byzantine
+// mass into one "failed" coin, which is exact only for count-threshold
+// predicates over total failures. Protocol predicates distinguish the two
+// (Theorem 3.1's safety depends on the Byzantine count alone), so this
+// sampler keeps the full trinomial per node — correct, crashed, or
+// Byzantine — and additionally supports correlated failure domains by
+// sampling the shock layer first, exactly as the exact mixture engine
+// conditions on it. Tilting raises every node's failure mass (preserving
+// its crash/Byzantine split) and optionally the per-domain shock
+// probabilities; the likelihood ratio corrects the estimate.
+
+// TriPred decides the rare event from one sampled configuration's fault
+// counts — the same (crashed, Byzantine) signature as core.CountModel's
+// predicates, so "unavailable" is literally !model.Live.
+type TriPred func(crashed, byz int) bool
+
+// TriTilt parameterizes the proposal distribution.
+type TriTilt struct {
+	// Boost multiplies every node's total failure mass (crash + Byzantine,
+	// elevated by any fired shock), preserving the crash/Byzantine ratio.
+	// The tilted mass is clamped to [true mass, MaxTiltMass] so tilting
+	// never moves probability *away* from the rare region and weights stay
+	// bounded. Boost <= 1 leaves the nodes untilted.
+	Boost float64
+	// ShockProb, when in (0, 1), replaces every domain's shock probability
+	// in the proposal — shocks dominate deep tails of correlated fleets,
+	// so 0.5 is the standard choice. Zero keeps the true shock
+	// probabilities (no shock tilt). Domains whose true shock is 0 or 1
+	// are never tilted: their outcome is deterministic under the true
+	// measure.
+	ShockProb float64
+}
+
+// MaxTiltMass caps a tilted node's total failure probability. Tilting all
+// the way to 1 would make the "node survives" likelihood ratio infinite.
+const MaxTiltMass = 0.5
+
+// TiltForCount returns the tilt that makes the expected number of failed
+// nodes roughly k — the standard exponential-tilt heuristic for the event
+// "at least k failures". Shock tilt defaults to 0.5 when any domain could
+// fire, chosen by the caller via withShocks.
+func TiltForCount(profiles []faultcurve.Profile, k int, withShocks bool) TriTilt {
+	var mass float64
+	for _, p := range profiles {
+		mass += p.PFail()
+	}
+	t := TriTilt{Boost: 1}
+	if mass > 0 && float64(k) > mass {
+		t.Boost = float64(k) / mass
+	}
+	if withShocks {
+		t.ShockProb = 0.5
+	}
+	return t
+}
+
+// RunImportanceTri estimates P[pred(crashed, byz)] under the exact
+// measure the analytic engines integrate: per-domain Bernoulli shocks,
+// then per-node trinomial draws from the (possibly shock-elevated)
+// profiles. member[i] is the index into domains of node i's failure
+// domain, or -1 for an independent node; domains may be empty. Sampling
+// happens under tilt; every sample's weight is the likelihood ratio of
+// the true measure to the proposal, so the estimate is unbiased for any
+// tilt. Cost is O(samples * n).
+func RunImportanceTri(profiles []faultcurve.Profile, member []int, domains []faultcurve.Domain,
+	tilt TriTilt, pred TriPred, samples int, seed int64) (ImportanceEstimate, error) {
+	n := len(profiles)
+	if len(member) != n {
+		return ImportanceEstimate{}, fmt.Errorf("montecarlo: %d memberships for %d nodes", len(member), n)
+	}
+	for i, m := range member {
+		if m < -1 || m >= len(domains) {
+			return ImportanceEstimate{}, fmt.Errorf("montecarlo: node %d references domain %d of %d", i, m, len(domains))
+		}
+	}
+	if samples <= 0 {
+		return ImportanceEstimate{}, fmt.Errorf("montecarlo: need samples > 0, got %d", samples)
+	}
+	if tilt.Boost < 1 {
+		tilt.Boost = 1
+	}
+	if tilt.ShockProb < 0 || tilt.ShockProb >= 1 {
+		return ImportanceEstimate{}, fmt.Errorf("montecarlo: shock tilt %v out of [0, 1)", tilt.ShockProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	fired := make([]bool, len(domains))
+	var sumW, sumW2 float64
+	for s := 0; s < samples; s++ {
+		logW := 0.0
+		for d, dom := range domains {
+			q := dom.ShockProb
+			qt := q
+			if tilt.ShockProb > 0 && q > 0 && q < 1 {
+				qt = tilt.ShockProb
+			}
+			if rng.Float64() < qt {
+				fired[d] = true
+				logW += math.Log(q) - math.Log(qt)
+			} else {
+				fired[d] = false
+				logW += math.Log1p(-q) - math.Log1p(-qt)
+			}
+		}
+		crashed, byz := 0, 0
+		for i := 0; i < n; i++ {
+			p := profiles[i]
+			if m := member[i]; m >= 0 && fired[m] {
+				p = domains[m].Elevate(p)
+			}
+			pc, pb := p.PCrash, p.PByz
+			f := pc + pb
+			tc, tb := pc, pb
+			if f > 0 && f < MaxTiltMass && tilt.Boost > 1 {
+				tf := f * tilt.Boost
+				if tf > MaxTiltMass {
+					tf = MaxTiltMass
+				}
+				scale := tf / f
+				tc, tb = pc*scale, pb*scale
+			}
+			switch u := rng.Float64(); {
+			case u < tc:
+				crashed++
+				logW += math.Log(pc) - math.Log(tc)
+			case u < tc+tb:
+				byz++
+				logW += math.Log(pb) - math.Log(tb)
+			default:
+				logW += math.Log1p(-f) - math.Log1p(-(tc + tb))
+			}
+		}
+		if pred(crashed, byz) {
+			w := math.Exp(logW)
+			sumW += w
+			sumW2 += w * w
+		}
+	}
+	nf := float64(samples)
+	mean := sumW / nf
+	variance := sumW2/nf - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	ess := 0.0
+	if sumW2 > 0 {
+		ess = sumW * sumW / sumW2
+	}
+	return ImportanceEstimate{
+		P:                mean,
+		StdErr:           math.Sqrt(variance / nf),
+		Samples:          samples,
+		EffectiveSamples: ess,
+	}, nil
+}

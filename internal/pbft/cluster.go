@@ -90,6 +90,19 @@ func (c *Cluster) DriveWorkload(start, interval sim.Time, count int) {
 	}
 }
 
+// MaxView returns the highest view any replica has entered — the
+// view-change churn a fault schedule induced, the PBFT counterpart of
+// raft.Cluster.MaxTerm.
+func (c *Cluster) MaxView() int {
+	max := 0
+	for _, n := range c.Nodes {
+		if v := n.View(); v > max {
+			max = v
+		}
+	}
+	return max
+}
+
 // HonestIDs returns the ids of honest, alive replicas.
 func (c *Cluster) HonestIDs() []int {
 	var out []int

@@ -118,6 +118,20 @@ func (c *Cluster) DriveWorkload(start sim.Time, interval sim.Time, count int) {
 // Proposed returns how many operations have been accepted by a leader.
 func (c *Cluster) Proposed() int { return c.proposed }
 
+// MaxTerm returns the highest term any node has reached — the election
+// churn a fault schedule induced (each term past 1 is a leader election,
+// contested or not). Crashed nodes count too: their persistent term
+// survives the crash.
+func (c *Cluster) MaxTerm() uint64 {
+	var max uint64
+	for _, n := range c.Nodes {
+		if t := n.Term(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
 // AliveCorrect returns the ids of nodes that are currently up.
 func (c *Cluster) AliveCorrect() []int {
 	var out []int

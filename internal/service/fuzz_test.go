@@ -109,6 +109,76 @@ func FuzzSweepRequest(f *testing.F) {
 	})
 }
 
+func FuzzTailRequest(f *testing.F) {
+	seeds := []string{
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live"}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","method":"importance","samples":50000,"seed":3}`,
+		`{"model":{"protocol":"pbft","n":4},"fleet":[{"p_byz":0.001},{"p_byz":0.001},{"p_byz":0.001},{"p_byz":0.001}],"event":"unsafe"}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0001,"event":"not_ok","domains":[{"name":"z1","shock":0.0001,"crash_mult":100},{"name":"z2","shock":0.0001,"crash_mult":100}],"fleet":[{"p_crash":0.0001,"domain":"z1"},{"p_crash":0.0001,"domain":"z1"},{"p_crash":0.0001,"domain":"z2"},{"p_crash":0.0001,"domain":"z2"},{"p_crash":0.0001}]}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"unsafe"}`,
+		`{"model":{"protocol":"raft","n":9},"p":0.01,"event":"not_live","method":"auto","max_work":100}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","method":"exact","max_work":10}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"eclipse"}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","method":"quantum"}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","max_work":-1}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","samples":-5}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","samples":99999999}`,
+		`{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"not_live","method":"importance","samples":200000,"max_work":100}`,
+		`{"model":{"protocol":"raft","n":5},"p":1.5,"event":"not_live"}`,
+		`{"event":"not_live"}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req TailRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return
+		}
+		plan, err := planTail(req)
+		if err != nil {
+			if !IsClientError(err) {
+				t.Fatalf("planTail returned a non-client error: %v", err)
+			}
+			return
+		}
+		// An accepted plan must be fully resolved and satisfy everything
+		// Tail's execution and cache paths rely on.
+		if plan.resolved != MethodExact && plan.resolved != MethodImportance {
+			t.Fatalf("accepted plan with unresolved method %q", plan.resolved)
+		}
+		if len(plan.fleet) != plan.model.N() {
+			t.Fatalf("accepted plan with fleet size %d != model N %d", len(plan.fleet), plan.model.N())
+		}
+		if err := plan.fleet.Validate(); err != nil {
+			t.Fatalf("accepted plan with invalid fleet: %v", err)
+		}
+		if err := plan.domains.Validate(plan.fleet); err != nil {
+			t.Fatalf("accepted plan with invalid domain layout: %v", err)
+		}
+		if plan.fp == "" || plan.key == "" {
+			t.Fatalf("accepted plan without cache identity: fp=%q key=%q", plan.fp, plan.key)
+		}
+		if plan.seed == 0 {
+			t.Fatalf("accepted plan with unseeded sampler")
+		}
+		switch plan.resolved {
+		case MethodImportance:
+			if plan.samples < 1 || plan.samples > MaxTailSamples {
+				t.Fatalf("importance plan with samples %d outside [1, %d]", plan.samples, MaxTailSamples)
+			}
+			if work := float64(plan.samples) * float64(len(plan.fleet)); work > plan.maxWork {
+				t.Fatalf("importance plan over its own bound: %g > %g", work, plan.maxWork)
+			}
+		case MethodExact:
+			if plan.kMin != -1 && plan.estimate > plan.maxWork {
+				t.Fatalf("exact plan over its own bound: %g > %g", plan.estimate, plan.maxWork)
+			}
+		}
+	})
+}
+
 func FuzzOptimizeRequest(f *testing.F) {
 	seeds := []string{
 		optimizeBody,

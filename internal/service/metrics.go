@@ -20,7 +20,7 @@ import (
 // docs/OBSERVABILITY.md inventories every family.
 
 // endpoints instrumented by the middleware, in mux order.
-var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "healthz", "statsz", "metrics"}
+var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "tail", "healthz", "statsz", "metrics"}
 
 // codeClasses label the status-class counters.
 var codeClasses = []string{"2xx", "3xx", "4xx", "5xx"}
@@ -51,6 +51,7 @@ type serverMetrics struct {
 	reqSweep    *obs.Counter
 	reqTables   *obs.Counter
 	reqOptimize *obs.Counter
+	reqTail     *obs.Counter
 
 	memoHits    *obs.Counter
 	sweepCells  *obs.Counter
@@ -59,6 +60,27 @@ type serverMetrics struct {
 
 	analyzeHit  *obs.Histogram
 	analyzeMiss *obs.Histogram
+
+	tailExact          *obs.Counter
+	tailImportance     *obs.Counter
+	tailExactSecs      *obs.Histogram
+	tailImportanceSecs *obs.Histogram
+}
+
+// tailDispatch returns the dispatch counter for the resolved tail method.
+func (m *serverMetrics) tailDispatch(method string) *obs.Counter {
+	if method == MethodImportance {
+		return m.tailImportance
+	}
+	return m.tailExact
+}
+
+// tailSeconds returns the latency histogram for the resolved tail method.
+func (m *serverMetrics) tailSeconds(method string) *obs.Histogram {
+	if method == MethodImportance {
+		return m.tailImportanceSecs
+	}
+	return m.tailExactSecs
 }
 
 // newServerMetrics registers the server's metric families on reg.
@@ -85,6 +107,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	m.reqSweep = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "sweep"})
 	m.reqTables = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "tables"})
 	m.reqOptimize = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "optimize"})
+	m.reqTail = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "tail"})
 
 	m.memoHits = reg.Counter("probconsd_memo_hits_total",
 		"Analyze queries answered by the L0 most-recent-query memo.", nil)
@@ -101,8 +124,18 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	m.analyzeMiss = reg.Histogram("probconsd_analyze_seconds", analyzeHelp,
 		obs.LatencyBuckets, obs.Labels{"cache": "miss"})
 
+	const dispatchHelp = "Tail queries dispatched, by resolved method (exact engine vs importance sampler)."
+	m.tailExact = reg.Counter("probconsd_tail_dispatch_total", dispatchHelp, obs.Labels{"method": "exact"})
+	m.tailImportance = reg.Counter("probconsd_tail_dispatch_total", dispatchHelp, obs.Labels{"method": "importance"})
+	const tailHelp = "Tail query latency through the tail cache, by resolved method."
+	m.tailExactSecs = reg.Histogram("probconsd_tail_seconds", tailHelp,
+		obs.LatencyBuckets, obs.Labels{"method": "exact"})
+	m.tailImportanceSecs = reg.Histogram("probconsd_tail_seconds", tailHelp,
+		obs.LatencyBuckets, obs.Labels{"method": "importance"})
+
 	registerCache(reg, "analyze", s.cache.Counters, s.cache.Len)
 	registerCache(reg, "optimize", s.ocache.Counters, s.ocache.Len)
+	registerCache(reg, "tail", s.tcache.Counters, s.tcache.Len)
 
 	reg.GaugeFunc("probconsd_uptime_seconds", "Seconds since the server was constructed.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })

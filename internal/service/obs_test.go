@@ -175,6 +175,15 @@ func TestStatszGolden(t *testing.T) {
     "capacity": 1024,
     "shards": 4
   },
+  "tail_cache": {
+    "hits": 0,
+    "misses": 0,
+    "coalesced": 0,
+    "evictions": 0,
+    "entries": 0,
+    "capacity": 1024,
+    "shards": 4
+  },
   "memo": {
     "hits": 0
   },
@@ -187,14 +196,16 @@ func TestStatszGolden(t *testing.T) {
     "analyze": 0,
     "sweep": 0,
     "tables": 0,
-    "optimize": 0
+    "optimize": 0,
+    "tail": 0
   },
   "uptime_seconds": 0,
   "latency": {
     "analyze": %[1]s,
     "optimize": %[1]s,
     "sweep": %[1]s,
-    "tables": %[1]s
+    "tables": %[1]s,
+    "tail": %[1]s
   }
 }`, zeroLatency)
 	if string(got) != want {

@@ -219,8 +219,23 @@ type AnalyzeRequest struct {
 const MaxAnalyzeWork = 2e10
 
 // Query resolves and validates the request into the exact analysis
-// inputs. All validation errors are client errors (HTTP 400).
+// inputs and enforces the analyze work bound. All validation errors are
+// client errors (HTTP 400).
 func (r AnalyzeRequest) Query() (core.Fleet, core.CountModel, core.DomainSet, error) {
+	fleet, m, domains, err := r.resolve()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if work := core.DomainsWorkEstimate(fleet, domains); work > MaxAnalyzeWork {
+		return nil, nil, nil, fmt.Errorf("query needs ~%.2g engine operations, maximum is %.2g (fewer domains or a smaller fleet)", work, float64(MaxAnalyzeWork))
+	}
+	return fleet, m, domains, nil
+}
+
+// resolve validates the request and builds the (fleet, model, domains)
+// triple without enforcing any work bound — the tail endpoint applies its
+// own per-request bound and dispatches on the estimate instead.
+func (r AnalyzeRequest) resolve() (core.Fleet, core.CountModel, core.DomainSet, error) {
 	m, err := r.Model.Model()
 	if err != nil {
 		return nil, nil, nil, err
@@ -263,9 +278,6 @@ func (r AnalyzeRequest) Query() (core.Fleet, core.CountModel, core.DomainSet, er
 	}
 	if err := domains.Validate(fleet); err != nil {
 		return nil, nil, nil, err
-	}
-	if work := core.DomainsWorkEstimate(fleet, domains); work > MaxAnalyzeWork {
-		return nil, nil, nil, fmt.Errorf("query needs ~%.2g engine operations, maximum is %.2g (fewer domains or a smaller fleet)", work, float64(MaxAnalyzeWork))
 	}
 	return fleet, m, domains, nil
 }

@@ -27,6 +27,9 @@ type Options struct {
 	// (default 1024; each entry represents far more compute than an
 	// analyze Result, so the cache can stay small).
 	OptimizeCacheCapacity int
+	// TailCacheCapacity is the number of memoized tail responses
+	// (default 1024).
+	TailCacheCapacity int
 	// CacheShards is the cache shard count (default 16).
 	CacheShards int
 	// Workers bounds concurrent engine computations — analyze misses and
@@ -56,6 +59,7 @@ type Options struct {
 type Server struct {
 	cache   *qcache.Cache[AnalyzeResponse]
 	ocache  *qcache.Cache[OptimizeResponse]
+	tcache  *qcache.Cache[TailResponse]
 	memo    atomic.Pointer[memoEntry]
 	analyze func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 	workers int
@@ -135,6 +139,9 @@ func New(opts Options) *Server {
 	if opts.OptimizeCacheCapacity <= 0 {
 		opts.OptimizeCacheCapacity = 1024
 	}
+	if opts.TailCacheCapacity <= 0 {
+		opts.TailCacheCapacity = 1024
+	}
 	if opts.CacheShards <= 0 {
 		opts.CacheShards = 16
 	}
@@ -150,6 +157,7 @@ func New(opts Options) *Server {
 	s := &Server{
 		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
 		ocache:  qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
+		tcache:  qcache.New[TailResponse](opts.TailCacheCapacity, opts.CacheShards),
 		analyze: opts.AnalyzeFunc,
 		workers: opts.Workers,
 		sem:     make(chan struct{}, opts.Workers),
@@ -506,6 +514,7 @@ type RequestStats struct {
 	Sweep    int64 `json:"sweep"`
 	Tables   int64 `json:"tables"`
 	Optimize int64 `json:"optimize"`
+	Tail     int64 `json:"tail"`
 }
 
 // MemoStats counts L0 most-recent-query memo hits.
@@ -520,6 +529,9 @@ type StatsResponse struct {
 	// keyed by the canonical problem fingerprint and separate from the
 	// analyze Result cache.
 	OptimizeCache qcache.Stats `json:"optimize_cache"`
+	// TailCache counts the /v1/tail response cache, keyed by the canonical
+	// fingerprint plus the tail parameters.
+	TailCache     qcache.Stats `json:"tail_cache"`
 	Memo          MemoStats    `json:"memo"`
 	Pool          PoolStats    `json:"pool"`
 	Requests      RequestStats `json:"requests"`
@@ -538,6 +550,7 @@ func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
 		Cache:         s.cache.Stats(),
 		OptimizeCache: s.ocache.Stats(),
+		TailCache:     s.tcache.Stats(),
 		Memo:          MemoStats{Hits: s.m.memoHits.Load()},
 		Pool: PoolStats{
 			Workers:     s.workers,
@@ -549,6 +562,7 @@ func (s *Server) Stats() StatsResponse {
 			Sweep:    s.m.reqSweep.Load(),
 			Tables:   s.m.reqTables.Load(),
 			Optimize: s.m.reqOptimize.Load(),
+			Tail:     s.m.reqTail.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Latency: map[string]LatencySummary{
@@ -556,6 +570,7 @@ func (s *Server) Stats() StatsResponse {
 			"sweep":    summarize(s.m.endpoints["sweep"].latency),
 			"optimize": summarize(s.m.endpoints["optimize"].latency),
 			"tables":   summarize(s.m.endpoints["tables"].latency),
+			"tail":     summarize(s.m.endpoints["tail"].latency),
 		},
 	}
 }
@@ -569,6 +584,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.HandleFunc("/v1/tables", s.instrument("tables", s.handleTables))
+	mux.HandleFunc("/v1/tail", s.instrument("tail", s.handleTail))
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/statsz", s.instrument("statsz", s.handleStatsz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.MetricsHandler().ServeHTTP))

@@ -1,0 +1,399 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/faultcurve"
+	"repro/internal/montecarlo"
+)
+
+// POST /v1/tail: work-bounded deep-tail queries. /v1/analyze reports the
+// headline probabilities; this endpoint answers "how likely is the rare
+// event itself" — unavailability, unsafety — at depths like 1e-10, where
+// subtracting from a percentage is the whole answer. Every request
+// carries a work bound; the server dispatches between the exact engine
+// (when the cost estimate fits the bound) and the trinomial importance
+// sampler (when it does not, or when explicitly requested as a
+// cross-validation of the exact path). Responses are cached under the
+// canonical fleet fingerprint plus the tail parameters.
+
+// Tail events.
+const (
+	EventNotLive = "not_live" // !Live: the deployment cannot serve
+	EventUnsafe  = "unsafe"   // !Safe: a safety violation is possible
+	EventNotOK   = "not_ok"   // !(Safe && Live): either failure
+)
+
+// Tail methods.
+const (
+	MethodAuto       = "auto"
+	MethodExact      = "exact"
+	MethodImportance = "importance"
+)
+
+// Tail work bounds. A request's max_work is denominated in engine
+// operations — DP cell updates for the exact path, (samples x n) node
+// draws for the sampler — and defaults to DefaultTailWork. The sampler's
+// sample count is derived from the bound; MaxTailSamples caps it
+// regardless of how generous the bound is.
+const (
+	DefaultTailWork    = MaxAnalyzeWork
+	DefaultTailSamples = 200_000
+	MaxTailSamples     = 5_000_000
+)
+
+// TailRequest is the body of POST /v1/tail. Fleet/p/domains follow
+// /v1/analyze exactly; event selects the rare event; method is "auto"
+// (default: exact when the cost estimate fits max_work, importance
+// otherwise), "exact" (400 if over the bound), or "importance" (forced —
+// the serving twin of the validation experiments). samples and seed
+// apply to the importance path only; seed defaults to 1 so repeated
+// queries are deterministic and cacheable.
+type TailRequest struct {
+	Model   ModelSpec    `json:"model"`
+	Fleet   []NodeSpec   `json:"fleet,omitempty"`
+	P       *float64     `json:"p,omitempty"`
+	Domains []DomainSpec `json:"domains,omitempty"`
+	Event   string       `json:"event"`
+	Method  string       `json:"method,omitempty"`
+	MaxWork float64      `json:"max_work,omitempty"`
+	Samples int          `json:"samples,omitempty"`
+	Seed    int64        `json:"seed,omitempty"`
+}
+
+// TailResponse is the body of a POST /v1/tail answer. P is the event
+// probability; Nines renders the complement as nines of reliability.
+// StdErr, RelCI99, Samples, and EffectiveSamples are present on the
+// importance path only: RelCI99 is the half-width of the 99% normal CI
+// relative to P — the estimator's own statement of how well it resolved
+// the tail within the work bound.
+type TailResponse struct {
+	Model            string  `json:"model"`
+	Event            string  `json:"event"`
+	Method           string  `json:"method"`
+	P                float64 `json:"p"`
+	Nines            float64 `json:"nines"`
+	StdErr           float64 `json:"std_err,omitempty"`
+	RelCI99          float64 `json:"rel_ci99,omitempty"`
+	Samples          int     `json:"samples,omitempty"`
+	EffectiveSamples float64 `json:"effective_samples,omitempty"`
+	Work             float64 `json:"work"`
+	Fingerprint      string  `json:"fingerprint"`
+	Cached           bool    `json:"cached"`
+}
+
+// tailPred maps the event name onto the model's predicates.
+func tailPred(m core.CountModel, event string) montecarlo.TriPred {
+	switch event {
+	case EventUnsafe:
+		return func(c, b int) bool { return !m.Safe(c, b) }
+	case EventNotLive:
+		return func(c, b int) bool { return !m.Live(c, b) }
+	default: // EventNotOK; validated upstream
+		return func(c, b int) bool { return !(m.Safe(c, b) && m.Live(c, b)) }
+	}
+}
+
+// minEventCount scans the achievable failure configurations for the
+// smallest total failure count that triggers the event, or -1 if no
+// achievable configuration does (the event then has exact probability 0,
+// and the sampler would only burn its budget confirming it). A
+// configuration (c, b) is achievable iff c crash-capable and b
+// Byzantine-capable nodes can be chosen disjointly; shocks only multiply
+// probabilities, so a node with zero mass stays at zero.
+func minEventCount(fleet core.Fleet, pred montecarlo.TriPred) int {
+	var nCrash, nByz, nEither int
+	for _, node := range fleet {
+		pc, pb := node.Profile.PCrash > 0, node.Profile.PByz > 0
+		if pc {
+			nCrash++
+		}
+		if pb {
+			nByz++
+		}
+		if pc || pb {
+			nEither++
+		}
+	}
+	n := len(fleet)
+	best := -1
+	for c := 0; c <= n; c++ {
+		for b := 0; b+c <= n; b++ {
+			if c > nCrash || b > nByz || c+b > nEither {
+				continue
+			}
+			if pred(c, b) && (best == -1 || c+b < best) {
+				best = c + b
+			}
+		}
+	}
+	return best
+}
+
+// tailPlan is a validated tail query with its dispatch resolved: what to
+// run, on which inputs, under which key. planTail builds it; Tail
+// executes it; the fuzz target asserts its invariants without executing.
+type tailPlan struct {
+	fleet    core.Fleet
+	model    core.CountModel
+	domains  core.DomainSet
+	pred     montecarlo.TriPred
+	event    string
+	resolved string // MethodExact or MethodImportance
+	samples  int    // importance only
+	seed     int64
+	maxWork  float64
+	estimate float64 // exact-engine cost estimate
+	kMin     int     // minimal achievable failure count triggering the event; -1 = impossible
+	fp       string
+	key      string
+}
+
+// planTail validates the request and resolves its dispatch. All errors
+// are client errors.
+func planTail(req TailRequest) (tailPlan, error) {
+	var plan tailPlan
+	switch req.Event {
+	case EventNotLive, EventUnsafe, EventNotOK:
+	case "":
+		return plan, badRequest(fmt.Errorf("event is required (%s, %s, or %s)", EventNotLive, EventUnsafe, EventNotOK))
+	default:
+		return plan, badRequest(fmt.Errorf("unknown event %q (want %s, %s, or %s)", req.Event, EventNotLive, EventUnsafe, EventNotOK))
+	}
+	method := req.Method
+	if method == "" {
+		method = MethodAuto
+	}
+	switch method {
+	case MethodAuto, MethodExact, MethodImportance:
+	default:
+		return plan, badRequest(fmt.Errorf("unknown method %q (want %s, %s, or %s)", req.Method, MethodAuto, MethodExact, MethodImportance))
+	}
+	maxWork := req.MaxWork
+	if maxWork == 0 {
+		maxWork = DefaultTailWork
+	}
+	if maxWork < 0 || maxWork != maxWork { // negative or NaN
+		return plan, badRequest(fmt.Errorf("max_work must be positive, got %v", req.MaxWork))
+	}
+	if maxWork > MaxAnalyzeWork {
+		return plan, badRequest(fmt.Errorf("max_work %.2g exceeds the server bound %.2g", maxWork, float64(MaxAnalyzeWork)))
+	}
+	if req.Samples < 0 || req.Samples > MaxTailSamples {
+		return plan, badRequest(fmt.Errorf("samples must be in [0, %d], got %d", MaxTailSamples, req.Samples))
+	}
+
+	fleet, m, domains, err := AnalyzeRequest{Model: req.Model, Fleet: req.Fleet, P: req.P, Domains: req.Domains}.resolve()
+	if err != nil {
+		return plan, badRequest(err)
+	}
+	pred := tailPred(m, req.Event)
+	n := len(fleet)
+	estimate := core.DomainsWorkEstimate(fleet, domains)
+
+	// Impossible events answer exactly, whatever the method: the scan is
+	// O(n^2) and the alternative is a sampler that cannot hit.
+	kMin := minEventCount(fleet, pred)
+
+	// Dispatch.
+	resolved := method
+	if method == MethodAuto {
+		if estimate <= maxWork {
+			resolved = MethodExact
+		} else {
+			resolved = MethodImportance
+		}
+	}
+	if kMin == -1 {
+		resolved = MethodExact
+	}
+	samples := 0
+	if resolved == MethodExact {
+		if kMin != -1 && estimate > maxWork {
+			return plan, badRequest(fmt.Errorf("exact evaluation needs ~%.2g engine operations, max_work is %.2g (raise it or use method importance)", estimate, maxWork))
+		}
+	} else {
+		budget := int(maxWork / float64(n))
+		samples = req.Samples
+		if samples == 0 {
+			samples = DefaultTailSamples
+			if samples > budget {
+				samples = budget
+			}
+		} else if samples > budget {
+			return plan, badRequest(fmt.Errorf("samples x n = %.2g exceeds max_work %.2g", float64(samples)*float64(n), maxWork))
+		}
+		if samples < 1 {
+			return plan, badRequest(fmt.Errorf("max_work %.2g affords no samples for a fleet of %d nodes", maxWork, n))
+		}
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
+	if err != nil {
+		return plan, badRequest(err)
+	}
+	key := fp.String() + "/tail/" + req.Event + "/" + resolved
+	if resolved == MethodImportance {
+		key = fmt.Sprintf("%s/s%d/x%d", key, samples, seed)
+	}
+
+	plan = tailPlan{
+		fleet:    fleet,
+		model:    m,
+		domains:  domains,
+		pred:     pred,
+		event:    req.Event,
+		resolved: resolved,
+		samples:  samples,
+		seed:     seed,
+		maxWork:  maxWork,
+		estimate: estimate,
+		kMin:     kMin,
+		fp:       fp.String(),
+		key:      key,
+	}
+	return plan, nil
+}
+
+// Tail answers one tail query through the tail cache. It is the
+// handler's core and the campaign CLI's serving twin.
+func (s *Server) Tail(req TailRequest) (TailResponse, error) {
+	start := time.Now()
+	plan, err := planTail(req)
+	if err != nil {
+		return TailResponse{}, err
+	}
+	s.m.tailDispatch(plan.resolved).Inc()
+	resp, cached, err := s.tcache.Do(plan.key, func() (TailResponse, error) {
+		if plan.resolved == MethodImportance {
+			return s.tailImportance(plan)
+		}
+		return s.tailExact(plan)
+	})
+	if err != nil {
+		return TailResponse{}, err
+	}
+	resp.Cached = cached
+	s.m.tailSeconds(plan.resolved).ObserveSince(start)
+	return resp, nil
+}
+
+// tailExact answers through the exact engine: the analyze cache supplies
+// the Result and the tail is its complement. Events no achievable
+// configuration triggers short-circuit to exactly 0 without running the
+// engine. The complement costs ~1e-16 absolute error, so depths beyond
+// ~1e-15 saturate; RelCI99 is 0 because the engine is exact.
+func (s *Server) tailExact(plan tailPlan) (TailResponse, error) {
+	resp := TailResponse{
+		Model:       modelName(plan.model),
+		Event:       plan.event,
+		Method:      MethodExact,
+		Fingerprint: plan.fp,
+	}
+	if plan.kMin == -1 {
+		resp.Nines = MaxNines
+		return resp, nil
+	}
+	ar, _, err := s.analyzeQuery(plan.fleet, plan.model, plan.domains, nil)
+	if err != nil {
+		return TailResponse{}, err
+	}
+	switch plan.event {
+	case EventUnsafe:
+		resp.P = 1 - ar.Safe
+	case EventNotLive:
+		resp.P = 1 - ar.Live
+	default:
+		resp.P = 1 - ar.SafeAndLive
+	}
+	if resp.P < 0 {
+		resp.P = 0
+	}
+	resp.Nines = jsonNines(1 - resp.P)
+	resp.Work = plan.estimate
+	return resp, nil
+}
+
+// tailImportance answers through the trinomial importance sampler,
+// tilted so the expected failure count reaches the event's minimal
+// achievable count. The engine worker pool gates the run like any other
+// compute.
+func (s *Server) tailImportance(plan tailPlan) (TailResponse, error) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	prof, member, doms := tailSamplerInputs(plan.fleet, plan.domains)
+	withShocks := false
+	for _, d := range doms {
+		if d.ShockProb > 0 && d.ShockProb < 1 {
+			withShocks = true
+		}
+	}
+	tilt := montecarlo.TiltForCount(prof, plan.kMin, withShocks)
+	est, err := montecarlo.RunImportanceTri(prof, member, doms, tilt, plan.pred, plan.samples, plan.seed)
+	if err != nil {
+		return TailResponse{}, fmt.Errorf("importance sampling failed: %w", err)
+	}
+	resp := TailResponse{
+		Model:            modelName(plan.model),
+		Event:            plan.event,
+		Method:           MethodImportance,
+		P:                est.P,
+		Nines:            jsonNines(1 - est.P),
+		StdErr:           est.StdErr,
+		Samples:          est.Samples,
+		EffectiveSamples: est.EffectiveSamples,
+		Work:             float64(est.Samples) * float64(len(plan.fleet)),
+		Fingerprint:      plan.fp,
+	}
+	if est.P > 0 {
+		resp.RelCI99 = dist.Z99 * est.StdErr / est.P
+	}
+	return resp, nil
+}
+
+// tailSamplerInputs flattens the engine-side fleet into the sampler's
+// (profiles, membership, domains) triple.
+func tailSamplerInputs(fleet core.Fleet, domains core.DomainSet) ([]faultcurve.Profile, []int, []faultcurve.Domain) {
+	prof := make([]faultcurve.Profile, len(fleet))
+	member := make([]int, len(fleet))
+	index := map[string]int{}
+	for i, d := range domains {
+		index[d.Name] = i
+	}
+	for i, node := range fleet {
+		prof[i] = node.Profile
+		member[i] = -1
+		if node.Domain != "" {
+			if d, ok := index[node.Domain]; ok {
+				member[i] = d
+			}
+		}
+	}
+	return prof, member, []faultcurve.Domain(domains)
+}
+
+func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	s.m.reqTail.Inc()
+	var req TailRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	resp, err := s.Tail(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -104,3 +104,31 @@ func (in *Injector) CrashSet(nodes []int) {
 		in.nodes[i].Crash()
 	}
 }
+
+// SchedulePartition isolates node `target` from the rest of the cluster
+// during [at, heal) — the leader-isolation primitive behind election-storm
+// schedules. Healing restores full connectivity, so overlapping
+// partitions must not be scheduled (the later heal would also undo an
+// earlier, still-active isolation).
+func (in *Injector) SchedulePartition(target int, at, heal Time) {
+	n := in.net.N()
+	in.net.Scheduler().At(at, func() {
+		groups := make([]int, n)
+		groups[target] = 1
+		in.net.Partition(groups)
+	})
+	in.net.Scheduler().At(heal, func() { in.net.Partition(nil) })
+}
+
+// ScheduleRolling models a rolling-upgrade cohort: each listed node is
+// taken down (crash + network cut) for `outage` starting at `at`, with
+// consecutive nodes staggered by `stagger`, and then restarted — the
+// operational pattern of a fleet-wide upgrade that is invisible to
+// fail-stop terminal-state analysis but stresses elections and view
+// changes while it runs.
+func (in *Injector) ScheduleRolling(nodes []int, at, outage, stagger Time) {
+	for k, node := range nodes {
+		down := at + Time(k)*stagger
+		in.Schedule([]Fault{{Node: node, At: down, Recover: down + outage}})
+	}
+}

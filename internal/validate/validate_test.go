@@ -1,10 +1,12 @@
 package validate
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/pbft"
 )
 
 // TestV1RaftMatrixMatchesTheorem is experiment V1: the simulated Raft
@@ -67,6 +69,93 @@ func TestV2EquivocationSafetyBoundary(t *testing.T) {
 	}
 	if !undersized {
 		t.Error("equivocator never split undersized quorums in 20 seeds")
+	}
+}
+
+// TestTheoremSweep is the table-driven tier-1 sweep: every cluster size
+// N=3..7 for both protocols, every failure count from zero up past the
+// theorem threshold, one imposed configuration each under a pinned seed.
+// Assertion discipline: a predicted-live configuration must always be
+// observed live, and crash/omission faults must never produce an
+// agreement violation. A predicted stall is asserted only when it is
+// structural — the surviving correct set is smaller than a required
+// quorum — because Silent (omission-only) Byzantine behavior cannot
+// realize the adversarial view-change stalls the predicate also covers.
+// At 3f+1 sizes every stall is structural, so there the check is
+// two-directional; at N=5,6 the b=f+1 rows are live in simulation and
+// the one-directional rule applies.
+func TestTheoremSweep(t *testing.T) {
+	type row struct {
+		protocol   string
+		n, c, b    int
+		seed       int64
+		expectLive bool
+		structural bool // the stall needs no adversarial behavior to realize
+	}
+	var rows []row
+	// Raft: crash counts 0..N. Every Raft stall is structural (fewer than
+	// a majority alive), so the check is two-directional throughout.
+	for n := 3; n <= 7; n++ {
+		model := core.NewRaft(n)
+		for c := 0; c <= n; c++ {
+			rows = append(rows, row{"raft", n, c, 0, int64(9000 + 100*n + c), model.Live(c, 0), true})
+		}
+	}
+	// PBFT: silent-Byzantine counts 0..f+1 and crash/Byzantine mixes up to
+	// one past the f-threshold. N=3 (f=0) is excluded: its textbook quorum
+	// of one makes single-replica "agreement" vacuous in the simulator.
+	structuralStall := func(n, c, b int) bool {
+		m := core.NewPBFTForN(n)
+		correct := n - c - b
+		return correct < m.QEq || correct < m.QPer || correct < m.QVC
+	}
+	for n := 4; n <= 7; n++ {
+		model := core.NewPBFTForN(n)
+		f := (n - 1) / 3
+		for b := 0; b <= f+1; b++ {
+			rows = append(rows, row{"pbft", n, 0, b, int64(7000 + 100*n + b), model.Live(0, b), structuralStall(n, 0, b)})
+		}
+		for c := 1; c <= f+1; c++ {
+			for b := 0; c+b <= f+1; b++ {
+				rows = append(rows, row{"pbft", n, c, b, int64(8000 + 100*n + 10*c + b), model.Live(c, b), structuralStall(n, c, b)})
+			}
+		}
+	}
+	for _, r := range rows {
+		r := r
+		t.Run(fmt.Sprintf("%s/n%d/c%d/b%d", r.protocol, r.n, r.c, r.b), func(t *testing.T) {
+			t.Parallel()
+			var out Outcome
+			var err error
+			crashed := make([]int, r.c)
+			for i := range crashed {
+				// Crash the highest ids so Byzantine nodes (lowest ids,
+				// adversarial for liveness: they lead the earliest views)
+				// stay disjoint from the crash set.
+				crashed[i] = r.n - 1 - i
+			}
+			if r.protocol == "raft" {
+				out, err = RaftRun(r.n, crashed, 2, r.seed)
+			} else {
+				behaviors := make([]pbft.Behavior, r.n)
+				for i := 0; i < r.b; i++ {
+					behaviors[i] = pbft.Silent
+				}
+				out, err = PBFTRun(r.n, behaviors, crashed, 2, r.seed)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.Safe {
+				t.Errorf("agreement violated (crash/omission faults cannot realize unsafety)")
+			}
+			switch {
+			case r.expectLive && !out.Live:
+				t.Errorf("predicted live, observed stalled")
+			case !r.expectLive && out.Live && r.structural:
+				t.Errorf("structurally stalled configuration observed live")
+			}
+		})
 	}
 }
 
