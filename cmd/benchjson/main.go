@@ -1,0 +1,154 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so benchmark results can be committed
+// as trajectory points (BENCH_<n>.json) and diffed across PRs instead
+// of eyeballed in CI logs.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkService' -benchmem -run '^$' . | benchjson -label BENCH_9 -out BENCH_9.json
+//
+// It reads the benchmark text from stdin: the goos/goarch/pkg/cpu
+// header lines, then one line per benchmark — name-GOMAXPROCS,
+// iterations, and (value, unit) pairs. Standard units get dedicated
+// fields (ns/op, B/op, allocs/op); anything else (b.ReportMetric
+// custom units, MB/s) lands in the metrics map. Non-benchmark lines
+// (PASS, ok, test log output) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark with its -GOMAXPROCS suffix stripped.
+	Name       string  `json:"name"`
+	Procs      int     `json:"procs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only under -benchmem.
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds every other (value, unit) pair on the line.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the JSON document: one labeled trajectory point.
+type Report struct {
+	Label   string        `json:"label"`
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+func main() {
+	label := flag.String("label", "", "report label (e.g. BENCH_9)")
+	out := flag.String("out", "-", "output path (default: stdout)")
+	flag.Parse()
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Label = *label
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes go-test benchmark text and keeps the header fields and
+// every benchmark line it can decode.
+func parse(r io.Reader) (Report, error) {
+	var rep Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if ok {
+				rep.Results = append(rep.Results, res)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	if len(rep.Results) == 0 {
+		return rep, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return rep, nil
+}
+
+// parseBenchLine decodes one "BenchmarkX-8 100 12.3 ns/op ..." line.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return BenchResult{}, false
+	}
+	var res BenchResult
+	res.Name = fields[0]
+	res.Procs = 1
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil && procs > 0 {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || iters < 1 {
+		return BenchResult{}, false
+	}
+	res.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp, sawNs = val, true
+		case "B/op":
+			v := val
+			res.BytesPerOp = &v
+		case "allocs/op":
+			v := val
+			res.AllocsPerOp = &v
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = val
+		}
+	}
+	return res, sawNs
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: AMD EPYC 7B13
+BenchmarkServiceAnalyzeHot-8   	 2925518	       410.8 ns/op	       0 B/op	       0 allocs/op
+BenchmarkDomainSweepShockFresh-8     	      66	  17905118 ns/op	        66.00 cells	 1043618 B/op	    4052 allocs/op
+BenchmarkOld 	 1000	 125 ns/op
+some stray log line
+PASS
+ok  	repro	4.321s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("header mismatch: %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	hot := rep.Results[0]
+	if hot.Name != "BenchmarkServiceAnalyzeHot" || hot.Procs != 8 {
+		t.Fatalf("name/procs mismatch: %+v", hot)
+	}
+	if hot.Iterations != 2925518 || hot.NsPerOp != 410.8 {
+		t.Fatalf("iterations/ns mismatch: %+v", hot)
+	}
+	if hot.AllocsPerOp == nil || *hot.AllocsPerOp != 0 || hot.BytesPerOp == nil || *hot.BytesPerOp != 0 {
+		t.Fatalf("benchmem fields mismatch: %+v", hot)
+	}
+	fresh := rep.Results[1]
+	if fresh.Metrics["cells"] != 66 {
+		t.Fatalf("custom metric mismatch: %+v", fresh)
+	}
+	if fresh.NsPerOp != 17905118 || *fresh.AllocsPerOp != 4052 {
+		t.Fatalf("fresh mismatch: %+v", fresh)
+	}
+	old := rep.Results[2]
+	// No -GOMAXPROCS suffix: the name stays whole and procs defaults to 1.
+	if old.Name != "BenchmarkOld" || old.Procs != 1 || old.NsPerOp != 125 {
+		t.Fatalf("old-style line mismatch: %+v", old)
+	}
+	if old.BytesPerOp != nil || old.AllocsPerOp != nil {
+		t.Fatalf("benchmem fields must be absent without -benchmem: %+v", old)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want an error when no benchmark lines are present")
+	}
+}
+
+func TestParseBenchLineMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",                        // no fields
+		"BenchmarkX-8 12 34",                  // odd value/unit pairing
+		"BenchmarkX-8 notanint 12 ns/op",      // bad iterations
+		"BenchmarkX-8 12 notafloat ns/op",     // bad value
+		"BenchmarkX-8 12 99 B/op 1 allocs/op", // no ns/op
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted, want reject", line)
+		}
+	}
+}

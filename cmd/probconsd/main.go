@@ -21,10 +21,17 @@
 // canonical fleet+model fingerprint. SIGINT/SIGTERM drain in-flight
 // requests before exit.
 //
-// With -metrics-addr unset, /metrics and /debug/pprof/* are served on
-// the main listener. Setting -metrics-addr moves pprof (and a second
-// /metrics mount) onto a private ops listener, keeping profiling
-// endpoints off the public address.
+// With -metrics-addr unset, /metrics, /debug/pprof/*, and the flight
+// recorder's /debug/requests are served on the main listener. Setting
+// -metrics-addr moves pprof and /debug/requests (and a second /metrics
+// mount) onto a private ops listener, keeping debugging endpoints off
+// the public address.
+//
+// Every request deposits a trace into a fixed-capacity flight recorder
+// (-trace-buffer entries); slow requests (-trace-slow-ms, default a
+// live per-endpoint p99), errors, and a deterministic 1-in-K sample
+// (-trace-sample) survive buffer pressure. Query them via GET
+// /v1/traces or the /debug/requests dump.
 package main
 
 import (
@@ -54,6 +61,10 @@ type config struct {
 	drain       time.Duration
 	logFormat   string // "text" or "json"
 	logW        *os.File
+
+	traceBuffer int
+	traceSlowMS float64 // 0 = dynamic per-endpoint p99 threshold
+	traceSample int     // keep 1 in K; 0 disables sampling
 }
 
 func main() {
@@ -65,6 +76,9 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "sweep worker pool size")
 	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain timeout")
 	flag.StringVar(&cfg.logFormat, "log-format", "text", "access-log format: text or json")
+	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 1024, "flight-recorder capacity (traces)")
+	flag.Float64Var(&cfg.traceSlowMS, "trace-slow-ms", 0, "retain traces at least this slow, in ms (0: track each endpoint's live p99)")
+	flag.IntVar(&cfg.traceSample, "trace-sample", 64, "always retain 1 in K traces regardless of speed (0 disables sampling)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "probconsd:", err)
@@ -109,21 +123,40 @@ func run(cfg config) error {
 	if cfg.workers < 1 {
 		return fmt.Errorf("worker count must be >= 1, got %d", cfg.workers)
 	}
+	if cfg.traceBuffer < 2 {
+		return fmt.Errorf("trace buffer must be >= 2, got %d", cfg.traceBuffer)
+	}
+	if cfg.traceSlowMS < 0 {
+		return fmt.Errorf("trace slow threshold must be >= 0 ms, got %g", cfg.traceSlowMS)
+	}
+	if cfg.traceSample < 0 {
+		return fmt.Errorf("trace sample rate must be >= 0, got %d", cfg.traceSample)
+	}
 	logger, err := newLogger(cfg)
 	if err != nil {
 		return err
+	}
+	// The service maps TraceSample 0 to its default, so the flag's
+	// "0 disables sampling" spelling becomes the negative sentinel here.
+	sampleK := cfg.traceSample
+	if sampleK == 0 {
+		sampleK = -1
 	}
 	srv := service.New(service.Options{
 		CacheCapacity: cfg.cacheSize,
 		CacheShards:   cfg.shards,
 		Workers:       cfg.workers,
 		Logger:        logger,
+		TraceBuffer:   cfg.traceBuffer,
+		TraceSlow:     time.Duration(cfg.traceSlowMS * float64(time.Millisecond)),
+		TraceSample:   sampleK,
 	})
 
 	root := http.NewServeMux()
 	root.Handle("/", srv.Handler())
 	if cfg.metricsAddr == "" {
 		registerPprof(root)
+		root.Handle("/debug/requests", srv.DebugRequestsHandler())
 	}
 	httpSrv := &http.Server{
 		Addr:              cfg.addr,
@@ -143,6 +176,7 @@ func run(cfg config) error {
 		ops := http.NewServeMux()
 		ops.Handle("/metrics", srv.MetricsHandler())
 		registerPprof(ops)
+		ops.Handle("/debug/requests", srv.DebugRequestsHandler())
 		opsSrv = &http.Server{
 			Addr:              cfg.metricsAddr,
 			Handler:           ops,

@@ -10,12 +10,14 @@ import (
 // testConfig is a valid baseline config on ephemeral ports.
 func testConfig() config {
 	return config{
-		addr:      "127.0.0.1:0",
-		cacheSize: 16,
-		shards:    2,
-		workers:   2,
-		drain:     2 * time.Second,
-		logFormat: "text",
+		addr:        "127.0.0.1:0",
+		cacheSize:   16,
+		shards:      2,
+		workers:     2,
+		drain:       2 * time.Second,
+		logFormat:   "text",
+		traceBuffer: 64,
+		traceSample: 8,
 	}
 }
 
@@ -30,6 +32,9 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		{"unlistenable address", func(c *config) { c.addr = "not-an-address" }},
 		{"unlistenable metrics address", func(c *config) { c.metricsAddr = "not-an-address" }},
 		{"unknown log format", func(c *config) { c.logFormat = "xml" }},
+		{"trace buffer 1", func(c *config) { c.traceBuffer = 1 }},
+		{"negative trace slow threshold", func(c *config) { c.traceSlowMS = -1 }},
+		{"negative trace sample rate", func(c *config) { c.traceSample = -1 }},
 	}
 	for _, tc := range cases {
 		cfg := testConfig()

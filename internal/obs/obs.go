@@ -63,21 +63,24 @@ func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()
 
 // Histogram is a fixed-bucket histogram with a lock-free, zero-allocation
 // Observe: one linear scan over the (few dozen at most) bucket bounds,
-// one atomic bucket increment, one atomic count increment, and one CAS
-// sum accumulation. Bucket bounds are fixed at construction (upper
-// bounds, inclusive, ascending; an implicit +Inf bucket catches the
-// rest), matching the Prometheus histogram model.
+// one atomic bucket increment, and one CAS sum accumulation. Bucket
+// bounds are fixed at construction (upper bounds, inclusive, ascending;
+// an implicit +Inf bucket catches the rest), matching the Prometheus
+// histogram model.
 //
-// The three updates of one Observe are individually atomic but not
-// jointly: a concurrent scrape can see a count that is ahead of the sum
-// by an in-flight observation. That skew is bounded by the number of
-// in-flight Observes and is the standard exposition-time tradeoff for
-// keeping the hot path lock-free.
+// There is deliberately no separate total-count atomic: Snapshot derives
+// Count as the sum of the bucket counts, so the +Inf cumulative bucket
+// and _count can never disagree, whatever Observes are in flight (the
+// /statsz summaries and /metrics exposition read the same snapshot). The
+// bucket/sum pair of one Observe is still individually atomic, not
+// joint: a concurrent scrape can see a count ahead of the sum by an
+// in-flight observation — bounded skew, the standard tradeoff for a
+// lock-free hot path.
 type Histogram struct {
-	upper  []float64 // ascending upper bounds, +Inf excluded
-	counts []atomic.Int64
-	count  atomic.Int64
-	sum    atomicFloat
+	upper     []float64 // ascending upper bounds, +Inf excluded
+	counts    []atomic.Int64
+	sum       atomicFloat
+	exemplars []atomic.Pointer[Exemplar]
 }
 
 // NewHistogram builds a histogram over the given ascending bucket upper
@@ -95,20 +98,64 @@ func NewHistogram(bounds []float64) *Histogram {
 		}
 	}
 	return &Histogram{
-		upper:  append([]float64(nil), bounds...),
-		counts: make([]atomic.Int64, len(bounds)+1),
+		upper:     append([]float64(nil), bounds...),
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
 	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
+// bucketIndex returns the index of the bucket v falls in (len(upper) is
+// the +Inf bucket).
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.upper) && v > h.upper[i] {
 		i++
 	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketIndex(v)].Add(1)
 	h.sum.Add(v)
+}
+
+// Exemplar is a recent observation annotated with the trace it came
+// from — the OpenMetrics exemplar model, stored per bucket so a latency
+// spike in one bucket always points at a concrete request ID the traces
+// API can resolve.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the bucket's exemplar with it. The exemplar store costs one
+// allocation; hot paths that must stay allocation-free pass "" (plain
+// Observe semantics) or call Observe directly.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.bucketIndex(v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// Exemplars snapshots the per-bucket exemplars, aligned with Snapshot's
+// Counts (the final entry is the +Inf bucket). Buckets that never saw an
+// exemplar have a zero Exemplar (empty TraceID). The 0.0.4 text
+// exposition never renders exemplars — /metrics stays byte-compatible —
+// so this accessor is how they surface (the traces API and /statsz).
+func (h *Histogram) Exemplars() []Exemplar {
+	out := make([]Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = *e
+		}
+	}
+	return out
 }
 
 // ObserveDuration records a duration in seconds.
@@ -127,16 +174,18 @@ type HistogramSnapshot struct {
 	Sum    float64
 }
 
-// Snapshot copies the histogram's current state.
+// Snapshot copies the histogram's current state. Count is derived from
+// the bucket counts read into this snapshot — never a separate atomic —
+// so Sum(Counts) == Count holds for every snapshot by construction.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Upper:  h.upper,
 		Counts: make([]int64, len(h.counts)),
-		Count:  h.count.Load(),
 		Sum:    h.sum.Load(),
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
 	}
 	return s
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -215,5 +216,99 @@ func TestSpans(t *testing.T) {
 	}
 	if all[1].Duration < time.Millisecond {
 		t.Errorf("Since span too short: %v", all[1].Duration)
+	}
+}
+
+// TestHistogramCountDerivedFromBuckets pins the satellite fix: the
+// snapshot's Count is derived from the same bucket counters the buckets
+// render from, so the +Inf cumulative bucket always equals _count even
+// mid-observation — the two can never disagree the way a separate count
+// atomic could right after startup.
+func TestHistogramCountDerivedFromBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 5, 0.5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if s.Count != total || s.Count != 4 {
+		t.Fatalf("Count = %d, bucket sum = %d, want both 4", s.Count, total)
+	}
+}
+
+// TestHistogramExemplars checks exemplar capture: the latest trace ID
+// per bucket, empty IDs ignored, aligned with the bucket layout.
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1})
+	h.ObserveExemplar(0.05, "req-a")
+	h.ObserveExemplar(0.06, "req-b") // same bucket: replaces req-a
+	h.ObserveExemplar(0.5, "")       // no trace: counted, no exemplar
+	h.ObserveExemplar(5, "req-c")    // +Inf bucket
+	ex := h.Exemplars()
+	if len(ex) != 3 {
+		t.Fatalf("got %d exemplar slots, want one per bucket (3)", len(ex))
+	}
+	if ex[0].TraceID != "req-b" || ex[0].Value != 0.06 {
+		t.Fatalf("bucket 0 exemplar = %+v, want req-b@0.06", ex[0])
+	}
+	if ex[1].TraceID != "" {
+		t.Fatalf("bucket 1 must have no exemplar, got %+v", ex[1])
+	}
+	if ex[2].TraceID != "req-c" {
+		t.Fatalf("+Inf bucket exemplar = %+v, want req-c", ex[2])
+	}
+	if ex[0].Time.IsZero() {
+		t.Fatal("exemplar timestamp not set")
+	}
+	// The observations themselves still count normally.
+	if s := h.Snapshot(); s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+}
+
+// TestExemplarsNeverRenderInExposition pins the byte-compatibility
+// contract: exemplar capture must not change the 0.0.4 text output.
+func TestExemplarsNeverRenderInExposition(t *testing.T) {
+	plain := NewRegistry()
+	tagged := NewRegistry()
+	hp := plain.Histogram("test_seconds", "h.", []float64{0.1, 1}, nil)
+	ht := tagged.Histogram("test_seconds", "h.", []float64{0.1, 1}, nil)
+	for _, v := range []float64{0.05, 0.5, 2} {
+		hp.Observe(v)
+		ht.ObserveExemplar(v, "req-x")
+	}
+	var a, b strings.Builder
+	if err := plain.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tagged.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("exemplars changed the exposition:\nplain:\n%s\ntagged:\n%s", a.String(), b.String())
+	}
+}
+
+// TestFindCounter pins the registry lookup the trace store's engine
+// counter deltas rely on.
+func TestFindCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_widgets_total", "w.", Labels{"kind": "a"})
+	c.Add(3)
+	if got := r.FindCounter("test_widgets_total", Labels{"kind": "a"}); got != c {
+		t.Fatalf("FindCounter returned %p, want %p", got, c)
+	}
+	if r.FindCounter("test_widgets_total", Labels{"kind": "b"}) != nil {
+		t.Fatal("unknown label set must return nil")
+	}
+	if r.FindCounter("test_missing_total", nil) != nil {
+		t.Fatal("unknown family must return nil")
+	}
+	r.Gauge("test_level", "g.", nil)
+	if r.FindCounter("test_level", nil) != nil {
+		t.Fatal("non-counter family must return nil")
 	}
 }

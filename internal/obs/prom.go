@@ -90,7 +90,12 @@ func (f *family) write(w *bufio.Writer) {
 			}
 			w.WriteByte('\n')
 		case kindHistogram:
-			s := ch.h.Snapshot()
+			var s HistogramSnapshot
+			if ch.hfn != nil {
+				s = ch.hfn()
+			} else {
+				s = ch.h.Snapshot()
+			}
 			var cum int64
 			for i, bound := range s.Upper {
 				cum += s.Counts[i]

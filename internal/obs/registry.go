@@ -33,14 +33,16 @@ func (k kind) String() string {
 }
 
 // child is one (metric family, label set) instance. Exactly one of the
-// value fields is populated, matching the family's kind; fn, when set,
-// overrides the stored value at collection time (gauge funcs).
+// value fields is populated, matching the family's kind; fn and hfn,
+// when set, override the stored value at collection time (gauge and
+// histogram funcs).
 type child struct {
 	labels string // pre-rendered {a="b",c="d"} suffix, "" when unlabeled
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
 	fn     func() float64
+	hfn    func() HistogramSnapshot
 }
 
 // family is one named metric with its children in registration order.
@@ -49,7 +51,7 @@ type family struct {
 	help     string
 	kind     kind
 	children []*child
-	byLabels map[string]bool
+	byLabels map[string]*child
 }
 
 // Registry holds metric families and renders them in Prometheus text
@@ -142,7 +144,7 @@ func (r *Registry) register(name, help string, k kind, labels Labels, ch *child)
 	defer r.mu.Unlock()
 	f := r.families[name]
 	if f == nil {
-		f = &family{name: name, help: help, kind: k, byLabels: map[string]bool{}}
+		f = &family{name: name, help: help, kind: k, byLabels: map[string]*child{}}
 		r.families[name] = f
 		r.order = append(r.order, name)
 	}
@@ -152,10 +154,10 @@ func (r *Registry) register(name, help string, k kind, labels Labels, ch *child)
 	if f.help != help {
 		panic(fmt.Sprintf("obs: metric %q re-registered with different help", name))
 	}
-	if f.byLabels[ch.labels] {
+	if f.byLabels[ch.labels] != nil {
 		panic(fmt.Sprintf("obs: duplicate registration of %s%s", name, ch.labels))
 	}
-	f.byLabels[ch.labels] = true
+	f.byLabels[ch.labels] = ch
 	f.children = append(f.children, ch)
 }
 
@@ -193,6 +195,35 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels)
 	h := NewHistogram(bounds)
 	r.register(name, help, kindHistogram, labels, &child{h: h})
 	return h
+}
+
+// HistogramFunc registers a histogram whose snapshot is produced by fn at
+// collection time — for distributions that already live elsewhere (the
+// runtime/metrics GC-pause and scheduler-latency histograms) and would be
+// lossy to mirror observation-by-observation into a fixed bucket layout.
+func (r *Registry) HistogramFunc(name, help string, labels Labels, fn func() HistogramSnapshot) {
+	r.register(name, help, kindHistogram, labels, &child{hfn: fn})
+}
+
+// FindCounter returns the counter registered under name with exactly the
+// given label set, or nil when no such counter exists. It is the
+// read-side bridge for subsystems that annotate their own data with
+// registry counters they do not own — the flight recorder resolves the
+// engine counters it snapshots per request this way, staying decoupled
+// from the packages that registered them.
+func (r *Registry) FindCounter(name string, labels Labels) *Counter {
+	rendered := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil || f.kind != kindCounter {
+		return nil
+	}
+	ch := f.byLabels[rendered]
+	if ch == nil {
+		return nil
+	}
+	return ch.c
 }
 
 // FamilyNames returns the registered family names in registration order

@@ -117,6 +117,14 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 	return zero, false
 }
 
+// EventRecorder receives cache-pressure annotations from DoEvents — in
+// practice the request's flight-recorder trace (*obs.Trace satisfies it
+// with nil-safe methods). Kept as a local interface so qcache stays a
+// generic cache that merely reports what it did.
+type EventRecorder interface {
+	Event(name, detail string)
+}
+
 // Do returns the memoized value for key, computing it with compute on a
 // miss. Concurrent Do calls for the same key are coalesced: exactly one
 // runs compute, the rest wait and share its result. The bool reports
@@ -126,6 +134,15 @@ func (c *Cache[V]) Get(key string) (V, bool) {
 // error for every waiter — the flight is always resolved, so no caller can
 // hang on a dead key.
 func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, cached bool, err error) {
+	return c.DoEvents(key, nil, compute)
+}
+
+// DoEvents is Do with cache-pressure events delivered to ev (nil
+// disables recording): "cache_coalesced" when this call piggybacked on
+// an in-flight computation, and one "cache_evict" per LRU eviction this
+// call's insert caused, with the evicted key as the detail. Events fire
+// on the calling goroutine, so a per-request recorder needs no locking.
+func (c *Cache[V]) DoEvents(key string, ev EventRecorder, compute func() (V, error)) (v V, cached bool, err error) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	if el, ok := s.items[key]; ok {
@@ -138,6 +155,9 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, cached bool, 
 	if fl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		c.coalesced.Add(1)
+		if ev != nil {
+			ev.Event("cache_coalesced", key)
+		}
 		<-fl.done
 		return fl.val, false, fl.err
 	}
@@ -162,7 +182,7 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (v V, cached bool, 
 		s.mu.Lock()
 		delete(s.inflight, key)
 		if fl.err == nil {
-			s.insertLocked(c, key, fl.val)
+			s.insertLocked(c, key, fl.val, ev)
 		}
 		s.mu.Unlock()
 		close(fl.done)
@@ -178,14 +198,15 @@ func (c *Cache[V]) Put(key string, val V) {
 	s := c.shardFor(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.insertLocked(c, key, val)
+	s.insertLocked(c, key, val, nil)
 }
 
 // insertLocked adds or refreshes an entry, evicting from the tail when
-// over capacity. The existence check matters on the Do path too: a Put for
+// over capacity; each eviction is reported to ev (when non-nil) with the
+// evicted key. The existence check matters on the Do path too: a Put for
 // the same key can land while a flight is computing, and a blind PushFront
 // would orphan the earlier list element. Caller holds s.mu.
-func (s *shard[V]) insertLocked(c *Cache[V], key string, val V) {
+func (s *shard[V]) insertLocked(c *Cache[V], key string, val V, ev EventRecorder) {
 	if el, ok := s.items[key]; ok {
 		el.Value.(*entry[V]).val = val
 		s.order.MoveToFront(el)
@@ -195,8 +216,12 @@ func (s *shard[V]) insertLocked(c *Cache[V], key string, val V) {
 	for s.order.Len() > s.capacity {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		delete(s.items, oldest.Value.(*entry[V]).key)
+		evictedKey := oldest.Value.(*entry[V]).key
+		delete(s.items, evictedKey)
 		c.evictions.Add(1)
+		if ev != nil {
+			ev.Event("cache_evict", evictedKey)
+		}
 	}
 }
 

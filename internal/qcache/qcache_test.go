@@ -289,3 +289,95 @@ func TestPutDuringFlightKeepsOneEntry(t *testing.T) {
 		t.Fatal("k should have been evicted as LRU")
 	}
 }
+
+// eventLog is a test EventRecorder.
+type eventLog struct {
+	mu     sync.Mutex
+	events [][2]string
+}
+
+func (l *eventLog) Event(name, detail string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, [2]string{name, detail})
+}
+
+func (l *eventLog) snapshot() [][2]string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([][2]string(nil), l.events...)
+}
+
+// TestDoEventsEviction checks the flight-recorder hook: filling past
+// capacity reports each evicted key to the inserting caller's recorder.
+func TestDoEventsEviction(t *testing.T) {
+	c := New[int](2, 1)
+	mustDo(t, c, "a", 1)
+	mustDo(t, c, "b", 2)
+	var ev eventLog
+	if _, _, err := c.DoEvents("c", &ev, func() (int, error) { return 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	got := ev.snapshot()
+	if len(got) != 1 || got[0] != [2]string{"cache_evict", "a"} {
+		t.Fatalf("events = %v, want one cache_evict of the LRU key a", got)
+	}
+	// A hit emits no events.
+	ev = eventLog{}
+	if _, _, err := c.DoEvents("c", &ev, func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.snapshot()) != 0 {
+		t.Fatalf("hit emitted events: %v", ev.snapshot())
+	}
+}
+
+// TestDoEventsCoalesced checks joiners of an in-flight computation get a
+// cache_coalesced event while the computing caller gets none.
+func TestDoEventsCoalesced(t *testing.T) {
+	c := New[int](8, 1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leader eventLog
+	go func() {
+		c.DoEvents("k", &leader, func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+	}()
+	<-started
+	var joiner eventLog
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, cached, err := c.DoEvents("k", &joiner, func() (int, error) { return 0, nil })
+		if err != nil || v != 7 || cached {
+			t.Errorf("joiner got %d, cached=%v, err=%v; want 7, false, nil", v, cached, err)
+		}
+	}()
+	// Wait until the joiner has latched onto the flight, then release.
+	for {
+		if ev := joiner.snapshot(); len(ev) == 1 && ev[0][0] == "cache_coalesced" && ev[0][1] == "k" {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	<-done
+	if ev := leader.snapshot(); len(ev) != 0 {
+		t.Fatalf("leader emitted events: %v", ev)
+	}
+}
+
+// TestDoEventsNilRecorder pins that a nil recorder is fully inert.
+func TestDoEventsNilRecorder(t *testing.T) {
+	c := New[int](1, 1)
+	if _, _, err := c.DoEvents("a", nil, func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.DoEvents("b", nil, func() (int, error) { return 2, nil }); err != nil {
+		t.Fatal(err)
+	}
+	mustDo(t, c, "c", 3) // Do delegates to DoEvents(nil)
+}

@@ -3,9 +3,11 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"net/url"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // The fuzz targets below exercise the request decoders and validators of
@@ -213,6 +215,56 @@ func FuzzOptimizeRequest(f *testing.F) {
 		}
 		if req.Target == targetDomains && len(domains) == 0 {
 			return // Optimize rejects this after resolution; nothing to assert
+		}
+	})
+}
+
+// FuzzTraceFilter fuzzes the /v1/traces query-string decoder: arbitrary
+// query strings either fail as a client error or produce a filter whose
+// fields satisfy the documented bounds — never a panic.
+func FuzzTraceFilter(f *testing.F) {
+	seeds := []string{
+		"",
+		"endpoint=analyze",
+		"id=a1b2c3d4-00000001",
+		"status=404&min_ms=2.5",
+		"min_status=400&keep=error&limit=10",
+		"keep=slow&exemplars=true",
+		"limit=1000&min_ms=1e6",
+		"endpoint=analyze&endpoint=sweep",
+		"bogus=1",
+		"min_ms=NaN&status=99&limit=-1",
+		"exemplars=TRUE&keep=sampled",
+		"%zz=%zz",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		filter, _, err := parseTraceFilter(q)
+		if err != nil {
+			return
+		}
+		if filter.Status != 0 && (filter.Status < 100 || filter.Status > 599) {
+			t.Fatalf("status out of range: %d", filter.Status)
+		}
+		if filter.MinStatus != 0 && (filter.MinStatus < 100 || filter.MinStatus > 599) {
+			t.Fatalf("min_status out of range: %d", filter.MinStatus)
+		}
+		if filter.MinDuration < 0 {
+			t.Fatalf("negative min duration: %v", filter.MinDuration)
+		}
+		if filter.Limit < 0 || filter.Limit > maxTraceLimit {
+			t.Fatalf("limit out of range: %d", filter.Limit)
+		}
+		switch filter.Keep {
+		case "", obs.KeepSlow, obs.KeepError, obs.KeepSampled, obs.KeepRecent:
+		default:
+			t.Fatalf("invalid keep class: %q", filter.Keep)
 		}
 	})
 }

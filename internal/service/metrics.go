@@ -20,16 +20,21 @@ import (
 // docs/OBSERVABILITY.md inventories every family.
 
 // endpoints instrumented by the middleware, in mux order.
-var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "tail", "healthz", "statsz", "metrics"}
+var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "tail", "traces", "healthz", "statsz", "metrics"}
 
 // codeClasses label the status-class counters.
 var codeClasses = []string{"2xx", "3xx", "4xx", "5xx"}
 
-// endpointMetrics is one endpoint's middleware instrumentation.
+// endpointMetrics is one endpoint's middleware instrumentation, plus the
+// cached slow-trace threshold the flight recorder derives from the
+// latency histogram (refreshed every slowRefreshEvery deposits).
 type endpointMetrics struct {
 	codes    map[string]*obs.Counter
 	inFlight *obs.Gauge
 	latency  *obs.Histogram
+
+	slowNanos   atomic.Int64 // cached dynamic threshold; 0 = not derived yet
+	slowRefresh atomic.Int64 // deposits until the next derivation
 }
 
 func (em *endpointMetrics) code(status int) *obs.Counter {
@@ -136,10 +141,34 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	registerCache(reg, "analyze", s.cache.Counters, s.cache.Len)
 	registerCache(reg, "optimize", s.ocache.Counters, s.ocache.Len)
 	registerCache(reg, "tail", s.tcache.Counters, s.tcache.Len)
+	registerTraceStore(reg, s.traces)
 
 	reg.GaugeFunc("probconsd_uptime_seconds", "Seconds since the server was constructed.", nil,
 		func() float64 { return time.Since(s.start).Seconds() })
 	return m
+}
+
+// registerTraceStore attaches the flight recorder's live accounting to
+// the registry: deposit/retention counters under probconsd_traces_*
+// (labeled by retention class where one applies) and the ring occupancy
+// gauges. Same pattern as registerCache — the store owns the atomics,
+// scrapes read them.
+func registerTraceStore(reg *obs.Registry, ts *obs.TraceStore) {
+	deposited, keptSlow, keptError, keptSampled, droppedRecent, droppedRetained := ts.Counters()
+	reg.RegisterCounter("probconsd_traces_deposited_total",
+		"Completed requests deposited into the flight recorder (every request deposits exactly once).", nil, deposited)
+	const keptHelp = "Traces retained by the tail-sampling policy, by retention class (slow, error, or the deterministic 1-in-K sample)."
+	reg.RegisterCounter("probconsd_traces_kept_total", keptHelp, obs.Labels{"class": obs.KeepSlow}, keptSlow)
+	reg.RegisterCounter("probconsd_traces_kept_total", keptHelp, obs.Labels{"class": obs.KeepError}, keptError)
+	reg.RegisterCounter("probconsd_traces_kept_total", keptHelp, obs.Labels{"class": obs.KeepSampled}, keptSampled)
+	const droppedHelp = "Trace records overwritten under capacity pressure, by ring."
+	reg.RegisterCounter("probconsd_traces_dropped_total", droppedHelp, obs.Labels{"ring": "recent"}, droppedRecent)
+	reg.RegisterCounter("probconsd_traces_dropped_total", droppedHelp, obs.Labels{"ring": "retained"}, droppedRetained)
+	const entriesHelp = "Trace records currently held, by ring."
+	reg.GaugeFunc("probconsd_trace_buffer_entries", entriesHelp, obs.Labels{"ring": "retained"},
+		func() float64 { retained, _ := ts.RingSizes(); return float64(retained) })
+	reg.GaugeFunc("probconsd_trace_buffer_entries", entriesHelp, obs.Labels{"ring": "recent"},
+		func() float64 { _, recent := ts.RingSizes(); return float64(recent) })
 }
 
 // registerCache attaches one qcache's live counters and size gauges under
@@ -172,13 +201,26 @@ var (
 	reqIDSeq atomic.Uint64
 )
 
-type requestIDKey struct{}
+type traceKey struct{}
+
+// TraceFrom returns the flight-recorder trace the middleware attached to
+// this request's context, or nil outside an instrumented request.
+// Handlers thread it into the query paths; a nil trace is recorded into
+// safely (every method no-ops).
+func TraceFrom(ctx context.Context) *obs.Trace {
+	tr, _ := ctx.Value(traceKey{}).(*obs.Trace)
+	return tr
+}
 
 // RequestID returns the request ID the middleware assigned to this
-// request's context, or "" outside an instrumented request.
+// request's context, or "" outside an instrumented request. The ID lives
+// on the request's trace — the same identifier connects the access log,
+// the debug block, exemplars, and /v1/traces.
 func RequestID(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey{}).(string)
-	return id
+	if tr := TraceFrom(ctx); tr != nil {
+		return tr.ID
+	}
+	return ""
 }
 
 // statusWriter captures the response status for the middleware. It
@@ -201,25 +243,30 @@ func (w *statusWriter) Flush() {
 }
 
 // instrument wraps one endpoint handler with the observability
-// middleware: request-ID assignment, in-flight gauge, per-endpoint
-// latency histogram, status-class counters, and (when a logger is
-// configured) one structured access-log line per request.
+// middleware: flight-recorder trace acquisition (which carries the
+// request ID), in-flight gauge, per-endpoint latency histogram with an
+// exemplar trace ID on every observation, status-class counters, trace
+// deposit, and (when a logger is configured) one structured access-log
+// line per request. Every request — debugged or not — produces a span
+// tree and a retained-or-dropped trace decision.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	em := s.m.endpoints[endpoint]
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		id := fmt.Sprintf("%s-%08x", reqIDPrefix, reqIDSeq.Add(1))
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id))
+		tr := s.traces.Acquire()
+		tr.Endpoint = endpoint
+		tr.ID = fmt.Sprintf("%s-%08x", reqIDPrefix, reqIDSeq.Add(1))
+		start := tr.Start
+		r = r.WithContext(context.WithValue(r.Context(), traceKey{}, tr))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		em.inFlight.Inc()
 		h(sw, r)
 		em.inFlight.Dec()
 		d := time.Since(start)
-		em.latency.ObserveDuration(d)
+		em.latency.ObserveExemplar(d.Seconds(), tr.ID)
 		em.code(sw.status).Inc()
 		if s.logger != nil {
 			s.logger.Info("request",
-				"id", id,
+				"id", tr.ID,
 				"method", r.Method,
 				"path", r.URL.Path,
 				"endpoint", endpoint,
@@ -228,7 +275,49 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 				"remote", r.RemoteAddr,
 			)
 		}
+		tr.Status = sw.status
+		tr.Duration = d
+		s.traces.Deposit(tr)
 	}
+}
+
+// Slow-trace thresholds. With -trace-slow-ms unset the threshold is
+// derived per endpoint from the live latency histogram: p99 with a
+// floor, recomputed every slowRefreshEvery deposits once the histogram
+// has slowMinSamples observations, defaultSlowThreshold before that. The
+// cached value keeps the deposit path at two atomic ops amortized.
+const (
+	defaultSlowThreshold = 25 * time.Millisecond
+	minSlowThreshold     = time.Millisecond
+	slowRefreshEvery     = 128
+	slowMinSamples       = 64
+)
+
+// slowThreshold is the TraceStore's SlowThreshold hook.
+func (s *Server) slowThreshold(endpoint string) time.Duration {
+	if s.traceSlow > 0 {
+		return s.traceSlow
+	}
+	em := s.m.endpoints[endpoint]
+	if em == nil {
+		return defaultSlowThreshold
+	}
+	if em.slowRefresh.Add(-1) <= 0 {
+		em.slowRefresh.Store(slowRefreshEvery)
+		th := defaultSlowThreshold
+		if snap := em.latency.Snapshot(); snap.Count >= slowMinSamples {
+			th = time.Duration(snap.Quantile(0.99) * float64(time.Second))
+			if th < minSlowThreshold {
+				th = minSlowThreshold
+			}
+		}
+		em.slowNanos.Store(int64(th))
+		return th
+	}
+	if v := em.slowNanos.Load(); v > 0 {
+		return time.Duration(v)
+	}
+	return defaultSlowThreshold
 }
 
 // LatencySummary is one endpoint's rolling latency digest in /statsz:

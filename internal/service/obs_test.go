@@ -206,7 +206,8 @@ func TestStatszGolden(t *testing.T) {
     "sweep": %[1]s,
     "tables": %[1]s,
     "tail": %[1]s
-  }
+  },
+  "slowest": []
 }`, zeroLatency)
 	if string(got) != want {
 		t.Fatalf("statsz JSON drifted:\ngot:\n%s\nwant:\n%s", got, want)

@@ -3,10 +3,12 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/faultcurve"
 	"repro/internal/inputcheck"
+	"repro/internal/obs"
 	"repro/internal/optimize"
 )
 
@@ -154,6 +156,13 @@ func (r OptimizeRequest) validateCommon() error {
 
 // Optimize resolves, validates, solves, and caches one optimize query.
 func (s *Server) Optimize(req OptimizeRequest) (OptimizeResponse, error) {
+	return s.optimizeTraced(req, nil)
+}
+
+// optimizeTraced is Optimize with the request's flight-recorder trace
+// threaded through (nil for library calls; recording no-ops).
+func (s *Server) optimizeTraced(req OptimizeRequest, tr *obs.Trace) (OptimizeResponse, error) {
+	rstart := time.Now()
 	if err := req.validateCommon(); err != nil {
 		return OptimizeResponse{}, badRequest(err)
 	}
@@ -165,6 +174,7 @@ func (s *Server) Optimize(req OptimizeRequest) (OptimizeResponse, error) {
 	if err != nil {
 		return OptimizeResponse{}, badRequest(err)
 	}
+	tr.Since("resolve", rstart)
 	opts := req.solverOptions()
 	iters := opts.MaxIterations
 	if iters <= 0 {
@@ -256,9 +266,13 @@ func (s *Server) Optimize(req OptimizeRequest) (OptimizeResponse, error) {
 		return a, after, nil
 	}
 
-	resp, cached, err := s.ocache.Do(fingerprint, func() (OptimizeResponse, error) {
+	computed := false
+	resp, cached, err := s.ocache.DoEvents(fingerprint, recorder(tr), func() (OptimizeResponse, error) {
+		computed = true
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
+		sstart := time.Now()
+		defer tr.Since("solve", sstart)
 		a, pAfter, err := solve()
 		if err != nil {
 			return OptimizeResponse{}, err
@@ -289,6 +303,14 @@ func (s *Server) Optimize(req OptimizeRequest) (OptimizeResponse, error) {
 	if err != nil {
 		return OptimizeResponse{}, fmt.Errorf("optimization failed: %w", err)
 	}
+	switch {
+	case computed:
+		tr.SetCache("miss")
+	case cached:
+		tr.SetCache("hit")
+	default:
+		tr.SetCache("coalesced")
+	}
 	// Detach the one slice the response shares with the cache entry (a
 	// library caller mutating its response must not corrupt later hits),
 	// and render THIS request's labels onto it: the cache key is the
@@ -309,12 +331,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	s.m.reqOptimize.Inc()
 	var req OptimizeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	resp, err := s.Optimize(req)
+	resp, err := s.optimizeTraced(req, TraceFrom(r.Context()))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -333,8 +333,7 @@ type DebugInfo struct {
 	Spans     []SpanView `json:"spans,omitempty"`
 }
 
-func spanViews(sp *obs.Spans) []SpanView {
-	all := sp.All()
+func spanViews(all []obs.Span) []SpanView {
 	if len(all) == 0 {
 		return nil
 	}

@@ -44,6 +44,17 @@ type Options struct {
 	// HTTP request (request ID, endpoint, status, duration). nil disables
 	// access logging; metrics are always on.
 	Logger *slog.Logger
+	// TraceBuffer is the flight recorder's capacity in trace records,
+	// split between the always-retained ring (slow/error/sampled) and the
+	// droppable recent ring (default 1024).
+	TraceBuffer int
+	// TraceSlow, when positive, fixes the slow-trace retention threshold
+	// for every endpoint. Zero derives it per endpoint from the live
+	// latency histogram (p99 with a floor).
+	TraceSlow time.Duration
+	// TraceSample deterministically retains every Kth request trace
+	// regardless of outcome (default 64; negative disables sampling).
+	TraceSample int
 }
 
 // Server is the probconsd request handler: stateless except for the
@@ -75,6 +86,12 @@ type Server struct {
 	// Prometheus endpoint exports.
 	reg *obs.Registry
 	m   serverMetrics
+
+	// traces is the request flight recorder: the middleware deposits
+	// every completed request's trace, tail-based retention keeps the
+	// ones that matter, GET /v1/traces and /debug/requests read it back.
+	traces    *obs.TraceStore
+	traceSlow time.Duration // fixed slow threshold; 0 = derive per endpoint
 }
 
 // memoEntry is the L0 cache line: one fully-rendered response plus a
@@ -155,19 +172,53 @@ func New(opts Options) *Server {
 		opts.AnalyzeFunc = core.NewEvaluatorPool().AnalyzeDomains
 	}
 	s := &Server{
-		cache:   qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
-		ocache:  qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
-		tcache:  qcache.New[TailResponse](opts.TailCacheCapacity, opts.CacheShards),
-		analyze: opts.AnalyzeFunc,
-		workers: opts.Workers,
-		sem:     make(chan struct{}, opts.Workers),
-		start:   time.Now(),
-		logger:  opts.Logger,
-		reg:     obs.NewRegistry(),
+		cache:     qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
+		ocache:    qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
+		tcache:    qcache.New[TailResponse](opts.TailCacheCapacity, opts.CacheShards),
+		analyze:   opts.AnalyzeFunc,
+		workers:   opts.Workers,
+		sem:       make(chan struct{}, opts.Workers),
+		start:     time.Now(),
+		logger:    opts.Logger,
+		reg:       obs.NewRegistry(),
+		traceSlow: opts.TraceSlow,
 	}
+	// The store must exist before newServerMetrics registers its
+	// accounting; the slow-threshold hook reads s.m lazily at deposit
+	// time, so the construction order is safe.
+	s.traces = obs.NewTraceStore(obs.TraceStoreOptions{
+		Capacity:      opts.TraceBuffer,
+		SampleK:       opts.TraceSample,
+		SlowThreshold: s.slowThreshold,
+		Counters:      engineCounterRefs(),
+	})
 	s.m = newServerMetrics(s.reg, s)
 	s.m.workers.Set(int64(opts.Workers))
 	return s
+}
+
+// traceCounterNames are the process-global engine counters every trace
+// snapshots around its request: the delta says what the engine actually
+// did for this request (builds vs cache hits vs deflations vs pool
+// traffic) — the "why was it slow" column of the flight record.
+var traceCounterNames = []string{
+	"probcons_engine_joint_builds_total",
+	"probcons_engine_block_cache_hits_total",
+	"probcons_engine_loo_deflations_total",
+	"probcons_engine_evaluator_pool_gets_total",
+}
+
+// engineCounterRefs resolves the trace counter set against the global
+// registry. Counters registered by packages this binary does not link
+// simply resolve to nil and are skipped.
+func engineCounterRefs() []obs.CounterRef {
+	refs := make([]obs.CounterRef, 0, len(traceCounterNames))
+	for _, name := range traceCounterNames {
+		if c := obs.Default().FindCounter(name, nil); c != nil {
+			refs = append(refs, obs.CounterRef{Name: name, C: c})
+		}
+	}
+	return refs
 }
 
 // clientError marks a validation failure: reported as HTTP 400, never 500.
@@ -188,33 +239,43 @@ func IsClientError(err error) bool {
 // two-level cache. It is the handler's core and the service benchmark
 // entry point.
 func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
+	return s.analyzeTraced(req, nil)
+}
+
+// analyzeTraced is Analyze with the request's flight-recorder trace
+// threaded through (nil for direct library and benchmark calls — every
+// recording method no-ops on nil, so the L0 memo path stays
+// allocation-free, pinned by TestAnalyzeHotPathAllocationGuard). HTTP
+// requests always carry a trace, so every request produces a span tree
+// whether or not the caller asked for the debug block.
+func (s *Server) analyzeTraced(req AnalyzeRequest, tr *obs.Trace) (AnalyzeResponse, error) {
 	start := time.Now()
 	// L0: the exact same query as last time short-circuits everything.
-	// The memo branch stays allocation-free unless debugging was asked
-	// for (pinned by TestAnalyzeHotPathAllocationGuard).
 	if e := s.memo.Load(); e != nil && equalRequests(e.req, req) {
 		s.m.memoHits.Inc()
 		resp := e.resp
 		resp.Cached = true
 		s.m.analyzeHit.ObserveSince(start)
+		if tr == nil && req.Debug {
+			tr = &obs.Trace{} // ephemeral recorder for direct debugged calls
+		}
+		tr.Since("memo_lookup", start)
+		tr.SetCache("l0_hit")
 		if req.Debug {
-			spans := &obs.Spans{}
-			spans.Since("memo_lookup", start)
-			resp.Debug = &DebugInfo{Cache: "l0_hit", Spans: spanViews(spans)}
+			resp.Debug = &DebugInfo{Cache: "l0_hit", Spans: spanViews(tr.AllSpans())}
 		}
 		return resp, nil
 	}
-	var spans *obs.Spans
-	if req.Debug {
-		spans = &obs.Spans{} // nil otherwise: span recording costs nothing undebugged
+	if tr == nil && req.Debug {
+		tr = &obs.Trace{}
 	}
 	rstart := time.Now()
 	fleet, m, domains, err := req.Query()
 	if err != nil {
 		return AnalyzeResponse{}, badRequest(err)
 	}
-	spans.Since("resolve", rstart)
-	resp, outcome, err := s.analyzeQuery(fleet, m, domains, spans)
+	tr.Since("resolve", rstart)
+	resp, outcome, err := s.analyzeQuery(fleet, m, domains, tr)
 	if err != nil {
 		return AnalyzeResponse{}, err
 	}
@@ -241,8 +302,9 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 		cp.Domains[i] = d
 	}
 	s.memo.Store(&memoEntry{req: cp, resp: resp})
+	tr.SetCache(outcome)
 	if req.Debug {
-		resp.Debug = &DebugInfo{Cache: outcome, Spans: spanViews(spans)}
+		resp.Debug = &DebugInfo{Cache: outcome, Spans: spanViews(tr.AllSpans())}
 	}
 	return resp, nil
 }
@@ -254,26 +316,28 @@ func (s *Server) Analyze(req AnalyzeRequest) (AnalyzeResponse, error) {
 // computes take slots and computes wait for nothing else, so no hold-and-
 // wait cycle exists.
 //
-// spans may be nil (recording is then a no-op). The returned outcome is
+// tr may be nil (recording is then a no-op). The returned outcome is
 // the cache verdict for the debug block and the hit/miss latency split:
 // "l1_hit", "miss" (this call ran the engine), or "coalesced" (an
-// identical in-flight computation was shared).
-func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet, spans *obs.Spans) (AnalyzeResponse, string, error) {
+// identical in-flight computation was shared). Cache-pressure events
+// (evictions this insert caused, coalesced waits) land on the trace via
+// the qcache event hook.
+func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet, tr *obs.Trace) (AnalyzeResponse, string, error) {
 	qstart := time.Now()
 	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
 	if err != nil {
 		return AnalyzeResponse{}, "", badRequest(err)
 	}
-	spans.Since("fingerprint", qstart)
+	tr.Since("fingerprint", qstart)
 	lstart := time.Now()
 	computed := false
-	resp, cached, err := s.cache.Do(fp.String(), func() (AnalyzeResponse, error) {
+	resp, cached, err := s.cache.DoEvents(fp.String(), recorder(tr), func() (AnalyzeResponse, error) {
 		computed = true
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
 		estart := time.Now()
 		res, err := s.analyze(fleet, m, domains)
-		spans.Since("engine", estart)
+		tr.Since("engine", estart)
 		if err != nil {
 			return AnalyzeResponse{}, err
 		}
@@ -286,7 +350,7 @@ func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.
 		// Hit or coalesced wait: attribute the whole lookup (including any
 		// wait on the winning flight) to the cache. On computes the engine
 		// span already covers the interesting interval.
-		spans.Since("cache_lookup", lstart)
+		tr.Since("cache_lookup", lstart)
 	}
 	outcome := "miss"
 	switch {
@@ -541,6 +605,19 @@ type StatsResponse struct {
 	// The full distributions are on /metrics as
 	// probconsd_http_request_seconds.
 	Latency map[string]LatencySummary `json:"latency"`
+	// Slowest lists the slowest requests currently held by the flight
+	// recorder, slowest first — the pivot from a latency histogram spike
+	// to a concrete request ID resolvable via GET /v1/traces.
+	Slowest []SlowestView `json:"slowest"`
+}
+
+// SlowestView is one /statsz "slowest" row.
+type SlowestView struct {
+	ID         string  `json:"id"`
+	Endpoint   string  `json:"endpoint"`
+	Status     int     `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	Keep       string  `json:"keep"`
 }
 
 // Stats snapshots all service counters. Every value is read from the
@@ -572,6 +649,7 @@ func (s *Server) Stats() StatsResponse {
 			"tables":   summarize(s.m.endpoints["tables"].latency),
 			"tail":     summarize(s.m.endpoints["tail"].latency),
 		},
+		Slowest: s.slowestViews(statszSlowestN),
 	}
 }
 
@@ -585,6 +663,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.HandleFunc("/v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("/v1/tail", s.instrument("tail", s.handleTail))
+	mux.HandleFunc("/v1/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/statsz", s.instrument("statsz", s.handleStatsz))
 	mux.HandleFunc("/metrics", s.instrument("metrics", s.MetricsHandler().ServeHTTP))
@@ -631,7 +710,11 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError renders err as a JSON error response and records its
+// message on the request's trace, so error traces retained by the flight
+// recorder carry the reason alongside the status.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	TraceFrom(r.Context()).SetError(err.Error())
 	status := http.StatusInternalServerError
 	if IsClientError(err) {
 		status = http.StatusBadRequest
@@ -656,12 +739,12 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.m.reqAnalyze.Inc()
 	var req AnalyzeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	resp, err := s.Analyze(req)
+	resp, err := s.analyzeTraced(req, TraceFrom(r.Context()))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	if resp.Debug != nil {
@@ -677,18 +760,26 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.m.reqSweep.Inc()
 	var req SweepRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	// Validate before the 200 header is committed; the stream body then
 	// goes through sweepValidated so the check runs exactly once.
+	vstart := time.Now()
 	if err := req.Validate(); err != nil {
-		writeError(w, badRequest(err))
+		writeError(w, r, badRequest(err))
 		return
 	}
+	tr := TraceFrom(r.Context())
+	tr.Since("validate", vstart)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
+	sstart := time.Now()
+	// Cells are computed by concurrent workers, so cell-level spans stay
+	// off the (single-goroutine) trace; the stream span plus the engine
+	// counter delta carry the sweep's cost attribution.
 	_ = s.sweepValidated(r.Context(), req, w)
+	tr.Since("stream", sstart)
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
@@ -696,9 +787,11 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.reqTables.Inc()
+	tstart := time.Now()
 	resp, err := s.Tables()
+	TraceFrom(r.Context()).Since("tables", tstart)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/faultcurve"
 	"repro/internal/montecarlo"
+	"repro/internal/obs"
 )
 
 // POST /v1/tail: work-bounded deep-tail queries. /v1/analyze reports the
@@ -266,20 +267,40 @@ func planTail(req TailRequest) (tailPlan, error) {
 // Tail answers one tail query through the tail cache. It is the
 // handler's core and the campaign CLI's serving twin.
 func (s *Server) Tail(req TailRequest) (TailResponse, error) {
+	return s.tailTraced(req, nil)
+}
+
+// tailTraced is Tail with the request's flight-recorder trace threaded
+// through (nil for library calls; recording no-ops).
+func (s *Server) tailTraced(req TailRequest, tr *obs.Trace) (TailResponse, error) {
 	start := time.Now()
 	plan, err := planTail(req)
 	if err != nil {
 		return TailResponse{}, err
 	}
+	tr.Since("plan", start)
 	s.m.tailDispatch(plan.resolved).Inc()
-	resp, cached, err := s.tcache.Do(plan.key, func() (TailResponse, error) {
+	lstart := time.Now()
+	computed := false
+	resp, cached, err := s.tcache.DoEvents(plan.key, recorder(tr), func() (TailResponse, error) {
+		computed = true
 		if plan.resolved == MethodImportance {
-			return s.tailImportance(plan)
+			return s.tailImportance(plan, tr)
 		}
-		return s.tailExact(plan)
+		return s.tailExact(plan, tr)
 	})
 	if err != nil {
 		return TailResponse{}, err
+	}
+	if !computed {
+		tr.Since("cache_lookup", lstart)
+	}
+	if cached {
+		tr.SetCache("hit")
+	} else if computed {
+		tr.SetCache("miss")
+	} else {
+		tr.SetCache("coalesced")
 	}
 	resp.Cached = cached
 	s.m.tailSeconds(plan.resolved).ObserveSince(start)
@@ -291,7 +312,7 @@ func (s *Server) Tail(req TailRequest) (TailResponse, error) {
 // configuration triggers short-circuit to exactly 0 without running the
 // engine. The complement costs ~1e-16 absolute error, so depths beyond
 // ~1e-15 saturate; RelCI99 is 0 because the engine is exact.
-func (s *Server) tailExact(plan tailPlan) (TailResponse, error) {
+func (s *Server) tailExact(plan tailPlan, tr *obs.Trace) (TailResponse, error) {
 	resp := TailResponse{
 		Model:       modelName(plan.model),
 		Event:       plan.event,
@@ -302,7 +323,7 @@ func (s *Server) tailExact(plan tailPlan) (TailResponse, error) {
 		resp.Nines = MaxNines
 		return resp, nil
 	}
-	ar, _, err := s.analyzeQuery(plan.fleet, plan.model, plan.domains, nil)
+	ar, _, err := s.analyzeQuery(plan.fleet, plan.model, plan.domains, tr)
 	if err != nil {
 		return TailResponse{}, err
 	}
@@ -326,9 +347,11 @@ func (s *Server) tailExact(plan tailPlan) (TailResponse, error) {
 // tilted so the expected failure count reaches the event's minimal
 // achievable count. The engine worker pool gates the run like any other
 // compute.
-func (s *Server) tailImportance(plan tailPlan) (TailResponse, error) {
+func (s *Server) tailImportance(plan tailPlan, tr *obs.Trace) (TailResponse, error) {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
+	sstart := time.Now()
+	defer tr.Since("sample", sstart)
 	prof, member, doms := tailSamplerInputs(plan.fleet, plan.domains)
 	withShocks := false
 	for _, d := range doms {
@@ -387,12 +410,12 @@ func (s *Server) handleTail(w http.ResponseWriter, r *http.Request) {
 	s.m.reqTail.Inc()
 	var req TailRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
-	resp, err := s.Tail(req)
+	resp, err := s.tailTraced(req, TraceFrom(r.Context()))
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
