@@ -12,8 +12,11 @@ package repro
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"net"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
@@ -27,6 +30,7 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/optimize"
 	"repro/internal/planner"
+	"repro/internal/qcache"
 	"repro/internal/quorum"
 	"repro/internal/raft"
 	"repro/internal/service"
@@ -1122,4 +1126,137 @@ func BenchmarkQuorumSweepPBFT(b *testing.B) {
 			}
 		}
 	})
+}
+
+// batchBenchRequests builds n distinct warm-cacheable analyze queries.
+func batchBenchRequests(n int) []service.AnalyzeRequest {
+	reqs := make([]service.AnalyzeRequest, n)
+	for i := range reqs {
+		p := 0.01 + float64(i)*1e-4
+		reqs[i] = service.AnalyzeRequest{Model: service.ModelSpec{Protocol: "raft", N: 15}, P: &p}
+	}
+	return reqs
+}
+
+// BenchmarkBatchAnalyze times 64 warm analyze queries issued as one
+// POST /v1/batch. Compare against BenchmarkBatchAnalyzeSequential: both
+// cover the same 64 queries per op, so allocs/op and ns/op are directly
+// comparable — the batch saves 63 rounds of HTTP framing, JSON container
+// encoding, and response writing.
+func BenchmarkBatchAnalyze(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 4096})
+	h := srv.Handler()
+	reqs := batchBenchRequests(64)
+	items := make([]service.BatchItem, len(reqs))
+	for i := range reqs {
+		r := reqs[i]
+		items[i] = service.BatchItem{Analyze: &r}
+	}
+	body, err := json.Marshal(service.BatchRequest{Items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, warm)
+	if w.Code != 200 {
+		b.Fatalf("warmup status %d: %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != 200 {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+	b.ReportMetric(64, "queries/op")
+}
+
+// BenchmarkBatchAnalyzeSequential is the baseline the batch endpoint
+// displaces: the same 64 warm queries as 64 POST /v1/analyze requests.
+func BenchmarkBatchAnalyzeSequential(b *testing.B) {
+	srv := service.New(service.Options{CacheCapacity: 4096})
+	h := srv.Handler()
+	reqs := batchBenchRequests(64)
+	bodies := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		bd, err := json.Marshal(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = bd
+		if _, err := srv.Analyze(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bd := range bodies {
+			req := httptest.NewRequest("POST", "/v1/analyze", bytes.NewReader(bd))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	}
+	b.ReportMetric(64, "queries/op")
+}
+
+// BenchmarkL2Hit times the peer tier's serve path: member A has a
+// one-entry L1 and every query's fingerprint is owned by warm member B,
+// so each iteration is an A-side L1 miss answered over the wire from B's
+// cache — the fleet-scale repeat-query cost with zero engine work.
+func BenchmarkL2Hit(b *testing.B) {
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	addrA := "bench-a.invalid:1" // never dialed: A only issues requests
+	client, err := qcache.NewPeerClient(addrA, []string{addrA, addrB}, qcache.PeerOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	srvB := service.New(service.Options{CacheCapacity: 4096})
+	peerB := qcache.NewPeerServer(srvB)
+	go peerB.Serve(lnB)
+	defer peerB.Close()
+
+	// A's L1 holds one entry; rotating two B-owned queries makes every
+	// iteration an L1 miss that must cross the wire.
+	srvA := service.New(service.Options{CacheCapacity: 1, CacheShards: 1, L2: client})
+	var rotation []service.AnalyzeRequest
+	for _, r := range batchBenchRequests(64) {
+		resp, err := srvB.Analyze(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if client.Owner(resp.Fingerprint) == addrB {
+			rotation = append(rotation, r)
+		}
+		if len(rotation) == 2 {
+			break
+		}
+	}
+	if len(rotation) < 2 {
+		b.Fatal("no B-owned queries found")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srvA.Analyze(rotation[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("iteration missed the peer tier")
+		}
+	}
 }

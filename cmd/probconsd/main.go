@@ -6,11 +6,14 @@
 //	probconsd                          # serve on :8080
 //	probconsd -addr :9090 -cache 65536 -workers 16
 //	probconsd -metrics-addr :9091 -log-format json
+//	probconsd -l2-addr :9191 -peers hostA:9191,hostB:9191   # fleet member
+//	probconsd -cache-dump /var/lib/probconsd/l1 -cache-load /var/lib/probconsd/l1
 //
 // Endpoints:
 //
 //	POST /v1/analyze  — heterogeneous fleet + Raft/PBFT model → Result
 //	POST /v1/sweep    — (n, p) grid, streamed as JSON lines
+//	POST /v1/batch    — many analyze/sweep/optimize/tail queries, one response
 //	GET  /v1/tables   — the paper's Tables 1 and 2
 //	GET  /healthz     — liveness probe
 //	GET  /statsz      — cache, worker-pool, and latency counters
@@ -18,8 +21,11 @@
 //
 // Identical concurrent queries are coalesced into one computation;
 // repeated queries are served from a sharded LRU cache keyed by the
-// canonical fleet+model fingerprint. SIGINT/SIGTERM drain in-flight
-// requests before exit.
+// canonical fleet+model fingerprint. With -peers set, instances form a
+// fleet: each L1 miss consults the key's owning peer (rendezvous hashing
+// over the fingerprint) before computing, so the fleet computes each
+// distinct query once. SIGINT/SIGTERM drain in-flight requests before
+// exit; -cache-dump/-cache-load persist the cache across restarts.
 //
 // With -metrics-addr unset, /metrics, /debug/pprof/*, and the flight
 // recorder's /debug/requests are served on the main listener. Setting
@@ -39,15 +45,19 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/qcache"
 	"repro/internal/service"
 )
 
@@ -65,6 +75,12 @@ type config struct {
 	traceBuffer int
 	traceSlowMS float64 // 0 = dynamic per-endpoint p99 threshold
 	traceSample int     // keep 1 in K; 0 disables sampling
+
+	l2Addr    string // "" = no L2 listener
+	l2Self    string // this member's entry in peers; "" = l2Addr
+	peers     string // comma-separated fleet member L2 addresses
+	cacheDump string // write the analyze cache here on graceful shutdown
+	cacheLoad string // warm the analyze cache from here at boot
 }
 
 func main() {
@@ -79,6 +95,11 @@ func main() {
 	flag.IntVar(&cfg.traceBuffer, "trace-buffer", 1024, "flight-recorder capacity (traces)")
 	flag.Float64Var(&cfg.traceSlowMS, "trace-slow-ms", 0, "retain traces at least this slow, in ms (0: track each endpoint's live p99)")
 	flag.IntVar(&cfg.traceSample, "trace-sample", 64, "always retain 1 in K traces regardless of speed (0 disables sampling)")
+	flag.StringVar(&cfg.l2Addr, "l2-addr", "", "listen address for the binary L2 cache-tier protocol (serves this instance's cache to its peers)")
+	flag.StringVar(&cfg.l2Self, "l2-self", "", "this instance's own entry in -peers (default: the -l2-addr value; set it when peers reach this instance at a different address)")
+	flag.StringVar(&cfg.peers, "peers", "", "comma-separated L2 addresses of every fleet member including this one, identical on each instance (enables peer-shared caching)")
+	flag.StringVar(&cfg.cacheDump, "cache-dump", "", "write the analyze cache to this file on graceful shutdown")
+	flag.StringVar(&cfg.cacheLoad, "cache-load", "", "warm the analyze cache from this file at boot (a missing file is skipped, not fatal)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "probconsd:", err)
@@ -132,6 +153,10 @@ func run(cfg config) error {
 	if cfg.traceSample < 0 {
 		return fmt.Errorf("trace sample rate must be >= 0, got %d", cfg.traceSample)
 	}
+	peerClient, err := newPeerClient(cfg)
+	if err != nil {
+		return err
+	}
 	logger, err := newLogger(cfg)
 	if err != nil {
 		return err
@@ -142,7 +167,7 @@ func run(cfg config) error {
 	if sampleK == 0 {
 		sampleK = -1
 	}
-	srv := service.New(service.Options{
+	opts := service.Options{
 		CacheCapacity: cfg.cacheSize,
 		CacheShards:   cfg.shards,
 		Workers:       cfg.workers,
@@ -150,7 +175,18 @@ func run(cfg config) error {
 		TraceBuffer:   cfg.traceBuffer,
 		TraceSlow:     time.Duration(cfg.traceSlowMS * float64(time.Millisecond)),
 		TraceSample:   sampleK,
-	})
+	}
+	if peerClient != nil {
+		opts.L2 = peerClient
+		defer peerClient.Close()
+	}
+	srv := service.New(opts)
+
+	if cfg.cacheLoad != "" {
+		if err := warmCache(srv, cfg.cacheLoad); err != nil {
+			return err
+		}
+	}
 
 	root := http.NewServeMux()
 	root.Handle("/", srv.Handler())
@@ -164,12 +200,32 @@ func run(cfg config) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	errCh := make(chan error, 2)
+	// The L2 listener binds before anything starts serving: a bad
+	// -l2-addr fails the boot outright instead of surfacing as a
+	// mid-flight listener death.
+	var l2Srv *qcache.PeerServer
+	var l2Ln net.Listener
+	if cfg.l2Addr != "" {
+		ln, err := net.Listen("tcp", cfg.l2Addr)
+		if err != nil {
+			return fmt.Errorf("l2 listen: %w", err)
+		}
+		l2Ln = ln
+		l2Srv = qcache.NewPeerServer(srv)
+	}
+
+	errCh := make(chan error, 3)
 	go func() {
 		fmt.Printf("probconsd: serving on %s (cache %d entries / %d shards, %d workers)\n",
 			cfg.addr, cfg.cacheSize, cfg.shards, cfg.workers)
 		errCh <- httpSrv.ListenAndServe()
 	}()
+	if l2Srv != nil {
+		go func() {
+			fmt.Printf("probconsd: l2 cache tier on %s (%d peers)\n", cfg.l2Addr, peerCount(peerClient))
+			errCh <- l2Srv.Serve(l2Ln)
+		}()
+	}
 
 	var opsSrv *http.Server
 	if cfg.metricsAddr != "" {
@@ -190,11 +246,15 @@ func run(cfg config) error {
 
 	listeners := 1
 	if opsSrv != nil {
-		listeners = 2
+		listeners++
 	}
-	// shutdown drains both listeners and collects the ListenAndServe
-	// returns still owed on errCh (pending is listeners minus any error
-	// the caller already consumed).
+	if l2Srv != nil {
+		listeners++
+	}
+	// shutdown drains every listener and collects the serve-loop returns
+	// still owed on errCh (pending is listeners minus any error the
+	// caller already consumed). A Close-triggered PeerServer.Serve
+	// returns nil, which passes the collection check like ErrServerClosed.
 	shutdown := func(why string, pending int) error {
 		fmt.Printf("probconsd: %s, draining for up to %v\n", why, cfg.drain)
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
@@ -208,8 +268,11 @@ func run(cfg config) error {
 				firstErr = fmt.Errorf("ops shutdown: %w", err)
 			}
 		}
+		if l2Srv != nil {
+			_ = l2Srv.Close()
+		}
 		for i := 0; i < pending; i++ {
-			if err := <-errCh; !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
+			if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) && firstErr == nil {
 				firstErr = err
 			}
 		}
@@ -231,10 +294,97 @@ func run(cfg config) error {
 		if err := shutdown(s.String(), listeners); err != nil {
 			return err
 		}
+		if cfg.cacheDump != "" {
+			if err := dumpCache(srv, cfg.cacheDump); err != nil {
+				return err
+			}
+		}
 		st := srv.Stats()
 		fmt.Printf("probconsd: done; served analyze=%d sweep=%d tables=%d, cache %d/%d (hits %d, coalesced %d)\n",
 			st.Requests.Analyze, st.Requests.Sweep, st.Requests.Tables,
 			st.Cache.Entries, st.Cache.Capacity, st.Cache.Hits, st.Cache.Coalesced)
 		return nil
 	}
+}
+
+// newPeerClient validates the fleet flags and builds the L2 router, or
+// nil when no fleet is configured.
+func newPeerClient(cfg config) (*qcache.PeerClient, error) {
+	if cfg.peers == "" {
+		if cfg.l2Self != "" {
+			return nil, fmt.Errorf("-l2-self requires -peers")
+		}
+		return nil, nil
+	}
+	if cfg.l2Addr == "" {
+		return nil, fmt.Errorf("-peers requires -l2-addr (every fleet member must serve its cache)")
+	}
+	self := cfg.l2Self
+	if self == "" {
+		self = cfg.l2Addr
+	}
+	var peers []string
+	for _, p := range strings.Split(cfg.peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-peers has an empty entry")
+		}
+		peers = append(peers, p)
+	}
+	return qcache.NewPeerClient(self, peers, qcache.PeerOptions{})
+}
+
+// peerCount renders the fleet size for the boot banner (0 = serving the
+// cache without routing to peers).
+func peerCount(pc *qcache.PeerClient) int {
+	if pc == nil {
+		return 0
+	}
+	return len(pc.Peers())
+}
+
+// warmCache loads the analyze cache from path. A missing file is a
+// normal first boot; a corrupted file keeps whatever loaded before the
+// corruption — the warm cache is best-effort, like the tier it feeds.
+func warmCache(srv *service.Server, path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		fmt.Printf("probconsd: cache warm file %s not found, starting cold\n", path)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cache load: %w", err)
+	}
+	defer f.Close()
+	n, err := srv.LoadCache(f)
+	if err != nil {
+		fmt.Printf("probconsd: cache warm stopped after %d entries: %v\n", n, err)
+		return nil
+	}
+	fmt.Printf("probconsd: warmed %d cache entries from %s\n", n, path)
+	return nil
+}
+
+// dumpCache writes the analyze cache to path via a temp file + rename,
+// so a crash mid-dump never leaves a truncated warm file behind.
+func dumpCache(srv *service.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cache dump: %w", err)
+	}
+	n, err := srv.DumpCache(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("cache dump: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("cache dump: %w", err)
+	}
+	fmt.Printf("probconsd: dumped %d cache entries to %s\n", n, path)
+	return nil
 }

@@ -1,0 +1,75 @@
+package qcache
+
+import "testing"
+
+// Byte occupancy: one shard so eviction order is deterministic, a sizer
+// counting value bytes, so every entry costs len(key)+len(value).
+func TestBytesTracksInsertUpdateEvict(t *testing.T) {
+	c := New[string](2, 1).WithSizer(func(v string) int { return len(v) })
+
+	c.Put("aa", "xxxx") // 2+4 = 6
+	if got := c.Bytes(); got != 6 {
+		t.Fatalf("after insert: Bytes() = %d, want 6", got)
+	}
+	c.Put("aa", "x") // update: 2+1 = 3
+	if got := c.Bytes(); got != 3 {
+		t.Fatalf("after update: Bytes() = %d, want 3", got)
+	}
+	c.Put("bb", "yyy") // +5 = 8
+	if got := c.Bytes(); got != 8 {
+		t.Fatalf("after second insert: Bytes() = %d, want 8", got)
+	}
+	c.Put("cc", "zz") // evicts LRU "aa" (-3), +4 = 9
+	if got := c.Bytes(); got != 9 {
+		t.Fatalf("after eviction: Bytes() = %d, want 9", got)
+	}
+	if _, ok := c.Get("aa"); ok {
+		t.Fatal("aa survived eviction")
+	}
+
+	st := c.Stats()
+	if st.Bytes != 9 || st.Entries != 2 {
+		t.Fatalf("Stats: bytes=%d entries=%d, want 9/2", st.Bytes, st.Entries)
+	}
+	if len(st.PerShard) != 1 || st.PerShard[0].Bytes != 9 || st.PerShard[0].Entries != 2 {
+		t.Fatalf("PerShard = %+v, want one shard with 2 entries / 9 bytes", st.PerShard)
+	}
+}
+
+func TestBytesWithoutSizerCountsKeys(t *testing.T) {
+	c := New[int](4, 1)
+	c.Put("abc", 1)
+	c.Put("de", 2)
+	if got := c.Bytes(); got != 5 {
+		t.Fatalf("Bytes() = %d, want 5 (key bytes only)", got)
+	}
+}
+
+func TestRangeSeesEntriesAndStopsEarly(t *testing.T) {
+	c := New[string](8, 2)
+	want := map[string]string{"a": "1", "b": "2", "c": "3"}
+	for k, v := range want {
+		c.Put(k, v)
+	}
+	got := map[string]string{}
+	c.Range(func(key, val string) bool {
+		got[key] = val
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Range saw %d entries, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range entry %q = %q, want %q", k, got[k], v)
+		}
+	}
+	calls := 0
+	c.Range(func(string, string) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Fatalf("Range after early stop made %d calls, want 1", calls)
+	}
+}

@@ -25,11 +25,26 @@ type Stats struct {
 	Capacity int `json:"capacity"`
 	// Shards is the shard count.
 	Shards int `json:"shards"`
+	// Bytes is the approximate payload occupancy across all shards: the
+	// sum of key lengths plus sized values (see WithSizer). It tracks the
+	// serialized footprint — what an L2 transfer or a -cache-dump file of
+	// this cache would weigh — not Go heap overhead.
+	Bytes int64 `json:"bytes"`
+	// PerShard is the live occupancy of each shard in shard order —
+	// the skew view needed to size shard counts and spot hot shards.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// ShardStats is one shard's live occupancy.
+type ShardStats struct {
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
 }
 
 type entry[V any] struct {
-	key string
-	val V
+	key  string
+	val  V
+	size int // sized bytes of key+val at insert time
 }
 
 // call is one in-flight computation other callers can wait on.
@@ -45,12 +60,14 @@ type shard[V any] struct {
 	order    *list.List               // front = most recently used
 	inflight map[string]*call[V]
 	capacity int
+	bytes    int64 // sum of entry sizes (see Cache.sizer)
 }
 
 // Cache is a sharded LRU memoization cache. The zero value is not usable;
 // construct with New. All methods are safe for concurrent use.
 type Cache[V any] struct {
 	shards    []*shard[V]
+	sizer     func(V) int // approximate value bytes; nil = count keys only
 	hits      obs.Counter
 	misses    obs.Counter
 	coalesced obs.Counter
@@ -81,6 +98,15 @@ func New[V any](capacity, nshards int) *Cache[V] {
 			capacity: perShard,
 		}
 	}
+	return c
+}
+
+// WithSizer sets fn as the value-size estimator behind the byte occupancy
+// stats: each entry is accounted as len(key) + fn(value). Construction-
+// time only (call immediately after New, before any concurrent use); a
+// cache without a sizer counts key bytes alone.
+func (c *Cache[V]) WithSizer(fn func(V) int) *Cache[V] {
+	c.sizer = fn
 	return c
 }
 
@@ -207,20 +233,28 @@ func (c *Cache[V]) Put(key string, val V) {
 // the same key can land while a flight is computing, and a blind PushFront
 // would orphan the earlier list element. Caller holds s.mu.
 func (s *shard[V]) insertLocked(c *Cache[V], key string, val V, ev EventRecorder) {
+	size := len(key)
+	if c.sizer != nil {
+		size += c.sizer(val)
+	}
 	if el, ok := s.items[key]; ok {
-		el.Value.(*entry[V]).val = val
+		e := el.Value.(*entry[V])
+		s.bytes += int64(size - e.size)
+		e.val, e.size = val, size
 		s.order.MoveToFront(el)
 		return
 	}
-	s.items[key] = s.order.PushFront(&entry[V]{key: key, val: val})
+	s.items[key] = s.order.PushFront(&entry[V]{key: key, val: val, size: size})
+	s.bytes += int64(size)
 	for s.order.Len() > s.capacity {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		evictedKey := oldest.Value.(*entry[V]).key
-		delete(s.items, evictedKey)
+		evicted := oldest.Value.(*entry[V])
+		delete(s.items, evicted.key)
+		s.bytes -= int64(evicted.size)
 		c.evictions.Add(1)
 		if ev != nil {
-			ev.Event("cache_evict", evictedKey)
+			ev.Event("cache_evict", evicted.key)
 		}
 	}
 }
@@ -236,6 +270,41 @@ func (c *Cache[V]) Len() int {
 	return n
 }
 
+// Bytes returns the approximate payload occupancy across all shards (see
+// Stats.Bytes).
+func (c *Cache[V]) Bytes() int64 {
+	var n int64
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.bytes
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Range calls fn for every cached entry, most recently used first within
+// each shard, stopping early when fn returns false. Each shard's entries
+// are snapshotted under its lock and fn runs outside it, so fn may use
+// the cache; entries inserted or evicted concurrently may or may not be
+// seen. It is the dump path's iterator.
+func (c *Cache[V]) Range(fn func(key string, val V) bool) {
+	for _, s := range c.shards {
+		s.mu.Lock()
+		// Values are copied under the lock: an update to a live entry after
+		// the snapshot must not race the caller reading it.
+		snap := make([]entry[V], 0, s.order.Len())
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			snap = append(snap, *el.Value.(*entry[V]))
+		}
+		s.mu.Unlock()
+		for i := range snap {
+			if !fn(snap[i].key, snap[i].val) {
+				return
+			}
+		}
+	}
+}
+
 // Counters exposes the cache's live hit/miss/coalesced/eviction counters
 // for registration in an obs.Registry: the counters stay owned (and
 // updated) by the cache, the registry only reads them at scrape time, so
@@ -244,7 +313,7 @@ func (c *Cache[V]) Counters() (hits, misses, coalesced, evictions *obs.Counter) 
 	return &c.hits, &c.misses, &c.coalesced, &c.evictions
 }
 
-// Stats snapshots the counters.
+// Stats snapshots the counters and per-shard occupancy.
 func (c *Cache[V]) Stats() Stats {
 	st := Stats{
 		Hits:      c.hits.Load(),
@@ -252,11 +321,14 @@ func (c *Cache[V]) Stats() Stats {
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
 		Shards:    len(c.shards),
+		PerShard:  make([]ShardStats, len(c.shards)),
 	}
-	for _, s := range c.shards {
+	for i, s := range c.shards {
 		s.mu.Lock()
+		st.PerShard[i] = ShardStats{Entries: s.order.Len(), Bytes: s.bytes}
 		st.Entries += s.order.Len()
 		st.Capacity += s.capacity
+		st.Bytes += s.bytes
 		s.mu.Unlock()
 	}
 	return st

@@ -268,3 +268,74 @@ func FuzzTraceFilter(f *testing.F) {
 		}
 	})
 }
+
+// FuzzBatchRequest exercises batch planning: arbitrary bytes either fail
+// the whole request as a client error or plan into an index-aligned job
+// list where every item is answered exactly once — by a job or by its
+// own validation error — without ever touching the engine (planBatch
+// never runs jobs).
+func FuzzBatchRequest(f *testing.F) {
+	seeds := []string{
+		batchBody,
+		`{"items":[{"analyze":{"model":{"protocol":"raft","n":3},"p":0.01}}]}`,
+		`{"items":[{"analyze":{"model":{"protocol":"raft","n":3},"p":0.01},"sweep":{"protocol":"raft","ns":[3],"ps":[0.01]}}]}`,
+		`{"items":[{}]}`,
+		`{"items":[]}`,
+		`{}`,
+		`{"items":[{"tail":{"model":{"protocol":"raft","n":5},"p":0.0002,"event":"melted"}}]}`,
+		`{"items":[{"optimize":{"model":{"protocol":"raft","n":3},"p":0.02,"budget":-1,"curve":{"floor_frac":0.1,"scale":0.25}}}]}`,
+		`{"items":[{"analyze":{"model":{"protocol":"raft","n":-3},"p":2}},{"analyze":{"model":{"protocol":"raft","n":3},"p":0.01}}]}`,
+		`not json`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	srv := New(Options{
+		CacheCapacity: 16, CacheShards: 1, Workers: 1,
+		AnalyzeFunc: func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error) {
+			panic("planBatch must not run the engine")
+		},
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req BatchRequest
+		if err := decodeStrict(data, &req); err != nil {
+			return
+		}
+		jobs, results, deduped, err := srv.planBatch(req)
+		if err != nil {
+			if !IsClientError(err) {
+				t.Fatalf("whole-request rejection is not a client error: %v", err)
+			}
+			return
+		}
+		if len(results) != len(req.Items) {
+			t.Fatalf("results misaligned: %d results for %d items", len(results), len(req.Items))
+		}
+		covered := make([]int, len(req.Items))
+		total := 0
+		for _, j := range jobs {
+			if len(j.indexes) > 1 && j.key == "" {
+				t.Fatal("unkeyed job deduplicated")
+			}
+			for _, i := range j.indexes {
+				if i < 0 || i >= len(results) {
+					t.Fatalf("job index %d out of range", i)
+				}
+				covered[i]++
+				total++
+			}
+		}
+		for i, n := range covered {
+			hasErr := results[i].Error != ""
+			if hasErr && n != 0 {
+				t.Fatalf("item %d both errored and scheduled", i)
+			}
+			if !hasErr && n != 1 {
+				t.Fatalf("item %d covered by %d jobs, want exactly 1", i, n)
+			}
+		}
+		if deduped != total-len(jobs) {
+			t.Fatalf("deduped = %d, want %d (covered %d over %d jobs)", deduped, total-len(jobs), total, len(jobs))
+		}
+	})
+}

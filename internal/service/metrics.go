@@ -20,7 +20,7 @@ import (
 // docs/OBSERVABILITY.md inventories every family.
 
 // endpoints instrumented by the middleware, in mux order.
-var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "tail", "traces", "healthz", "statsz", "metrics"}
+var endpointNames = []string{"analyze", "sweep", "optimize", "tables", "tail", "batch", "traces", "healthz", "statsz", "metrics"}
 
 // codeClasses label the status-class counters.
 var codeClasses = []string{"2xx", "3xx", "4xx", "5xx"}
@@ -57,6 +57,7 @@ type serverMetrics struct {
 	reqTables   *obs.Counter
 	reqOptimize *obs.Counter
 	reqTail     *obs.Counter
+	reqBatch    *obs.Counter
 
 	memoHits    *obs.Counter
 	sweepCells  *obs.Counter
@@ -70,6 +71,31 @@ type serverMetrics struct {
 	tailImportance     *obs.Counter
 	tailExactSecs      *obs.Histogram
 	tailImportanceSecs *obs.Histogram
+
+	// Fleet cache tier: client-side lookup outcomes and the peer-serving
+	// side, by op and outcome.
+	l2Hits         *obs.Counter
+	l2Misses       *obs.Counter
+	l2Errors       *obs.Counter
+	l2Local        *obs.Counter
+	l2Peers        *obs.Gauge
+	l2ServeGetHit  *obs.Counter
+	l2ServeGetMiss *obs.Counter
+	l2ServeExecOK  *obs.Counter
+	l2ServeExecErr *obs.Counter
+	l2ServePutOK   *obs.Counter
+	l2ServePutErr  *obs.Counter
+
+	// Batch endpoint: item traffic by kind, dedup wins, item rejections.
+	batchItems      map[string]*obs.Counter
+	batchDedup      *obs.Counter
+	batchItemErrors *obs.Counter
+}
+
+// batchItem returns the item counter for kind ("analyze", "sweep",
+// "optimize", or "tail" — callers pass validated kinds only).
+func (m *serverMetrics) batchItem(kind string) *obs.Counter {
+	return m.batchItems[kind]
 }
 
 // tailDispatch returns the dispatch counter for the resolved tail method.
@@ -113,6 +139,7 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	m.reqTables = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "tables"})
 	m.reqOptimize = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "optimize"})
 	m.reqTail = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "tail"})
+	m.reqBatch = reg.Counter("probconsd_api_requests_total", apiHelp, obs.Labels{"endpoint": "batch"})
 
 	m.memoHits = reg.Counter("probconsd_memo_hits_total",
 		"Analyze queries answered by the L0 most-recent-query memo.", nil)
@@ -138,9 +165,34 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	m.tailImportanceSecs = reg.Histogram("probconsd_tail_seconds", tailHelp,
 		obs.LatencyBuckets, obs.Labels{"method": "importance"})
 
-	registerCache(reg, "analyze", s.cache.Counters, s.cache.Len)
-	registerCache(reg, "optimize", s.ocache.Counters, s.ocache.Len)
-	registerCache(reg, "tail", s.tcache.Counters, s.tcache.Len)
+	const l2LookupHelp = "Fleet cache-tier (L2) consultations on L1 analyze misses, by outcome: hit (owner answered), miss, error (transport/protocol), local (this member owns the key or the query has no wire form)."
+	m.l2Hits = reg.Counter("probconsd_l2_lookups_total", l2LookupHelp, obs.Labels{"outcome": "hit"})
+	m.l2Misses = reg.Counter("probconsd_l2_lookups_total", l2LookupHelp, obs.Labels{"outcome": "miss"})
+	m.l2Errors = reg.Counter("probconsd_l2_lookups_total", l2LookupHelp, obs.Labels{"outcome": "error"})
+	m.l2Local = reg.Counter("probconsd_l2_lookups_total", l2LookupHelp, obs.Labels{"outcome": "local"})
+	m.l2Peers = reg.Gauge("probconsd_l2_peers",
+		"Configured fleet members (including self); 0 without a tier.", nil)
+	const l2ServeHelp = "Peer requests served over the L2 wire protocol, by op and outcome."
+	m.l2ServeGetHit = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "get", "outcome": "hit"})
+	m.l2ServeGetMiss = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "get", "outcome": "miss"})
+	m.l2ServeExecOK = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "exec", "outcome": "ok"})
+	m.l2ServeExecErr = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "exec", "outcome": "error"})
+	m.l2ServePutOK = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "put", "outcome": "ok"})
+	m.l2ServePutErr = reg.Counter("probconsd_l2_serve_total", l2ServeHelp, obs.Labels{"op": "put", "outcome": "error"})
+
+	const batchItemHelp = "Batch items accepted, by query kind."
+	m.batchItems = map[string]*obs.Counter{}
+	for _, kind := range []string{"analyze", "sweep", "optimize", "tail"} {
+		m.batchItems[kind] = reg.Counter("probconsd_batch_items_total", batchItemHelp, obs.Labels{"kind": kind})
+	}
+	m.batchDedup = reg.Counter("probconsd_batch_dedup_total",
+		"Batch items answered by another item's computation (fingerprint dedup).", nil)
+	m.batchItemErrors = reg.Counter("probconsd_batch_item_errors_total",
+		"Batch items rejected by per-item validation (the batch itself still succeeds).", nil)
+
+	registerCache(reg, "analyze", s.cache.Counters, s.cache.Len, s.cache.Bytes)
+	registerCache(reg, "optimize", s.ocache.Counters, s.ocache.Len, s.ocache.Bytes)
+	registerCache(reg, "tail", s.tcache.Counters, s.tcache.Len, s.tcache.Bytes)
 	registerTraceStore(reg, s.traces)
 
 	reg.GaugeFunc("probconsd_uptime_seconds", "Seconds since the server was constructed.", nil,
@@ -175,7 +227,7 @@ func registerTraceStore(reg *obs.Registry, ts *obs.TraceStore) {
 // the shared probconsd_cache_* families, labeled by cache name.
 func registerCache(reg *obs.Registry, name string,
 	counters func() (hits, misses, coalesced, evictions *obs.Counter),
-	length func() int) {
+	length func() int, bytes func() int64) {
 	hits, misses, coalesced, evictions := counters()
 	labels := obs.Labels{"cache": name}
 	reg.RegisterCounter("probconsd_cache_hits_total", "Result-cache lookups answered from cache.", labels, hits)
@@ -184,6 +236,8 @@ func registerCache(reg *obs.Registry, name string,
 	reg.RegisterCounter("probconsd_cache_evictions_total", "Result-cache entries dropped by the LRU policy.", labels, evictions)
 	reg.GaugeFunc("probconsd_cache_entries", "Result-cache entries currently held.", labels,
 		func() float64 { return float64(length()) })
+	reg.GaugeFunc("probconsd_cache_bytes", "Approximate serialized bytes of the entries currently held (what a dump or full L2 transfer of this cache would weigh).", labels,
+		func() float64 { return float64(bytes()) })
 }
 
 // reqIDPrefix is a per-process random prefix so request IDs from

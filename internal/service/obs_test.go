@@ -156,6 +156,24 @@ func TestStatszGolden(t *testing.T) {
       "p90_seconds": 0,
       "p99_seconds": 0
     }`
+	zeroShards := `[
+      {
+        "entries": 0,
+        "bytes": 0
+      },
+      {
+        "entries": 0,
+        "bytes": 0
+      },
+      {
+        "entries": 0,
+        "bytes": 0
+      },
+      {
+        "entries": 0,
+        "bytes": 0
+      }
+    ]`
 	want := fmt.Sprintf(`{
   "cache": {
     "hits": 0,
@@ -164,7 +182,9 @@ func TestStatszGolden(t *testing.T) {
     "evictions": 0,
     "entries": 0,
     "capacity": 256,
-    "shards": 4
+    "shards": 4,
+    "bytes": 0,
+    "per_shard": %[2]s
   },
   "optimize_cache": {
     "hits": 0,
@@ -173,7 +193,9 @@ func TestStatszGolden(t *testing.T) {
     "evictions": 0,
     "entries": 0,
     "capacity": 1024,
-    "shards": 4
+    "shards": 4,
+    "bytes": 0,
+    "per_shard": %[2]s
   },
   "tail_cache": {
     "hits": 0,
@@ -182,7 +204,9 @@ func TestStatszGolden(t *testing.T) {
     "evictions": 0,
     "entries": 0,
     "capacity": 1024,
-    "shards": 4
+    "shards": 4,
+    "bytes": 0,
+    "per_shard": %[2]s
   },
   "memo": {
     "hits": 0
@@ -197,18 +221,25 @@ func TestStatszGolden(t *testing.T) {
     "sweep": 0,
     "tables": 0,
     "optimize": 0,
-    "tail": 0
+    "tail": 0,
+    "batch": 0
   },
   "uptime_seconds": 0,
   "latency": {
     "analyze": %[1]s,
+    "batch": %[1]s,
     "optimize": %[1]s,
     "sweep": %[1]s,
     "tables": %[1]s,
     "tail": %[1]s
   },
-  "slowest": []
-}`, zeroLatency)
+  "slowest": [],
+  "batch": {
+    "items": 0,
+    "deduped": 0,
+    "item_errors": 0
+  }
+}`, zeroLatency, zeroShards)
 	if string(got) != want {
 		t.Fatalf("statsz JSON drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}

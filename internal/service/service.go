@@ -35,6 +35,11 @@ type Options struct {
 	// Workers bounds concurrent engine computations — analyze misses and
 	// sweep cells alike (default NumCPU). Cache hits are never gated.
 	Workers int
+	// L2, when non-nil, is the fleet cache tier consulted on L1 analyze
+	// misses: the key's owning peer is asked to answer (computing under
+	// its own singleflight on a fleet-wide miss) before this server
+	// computes. Best-effort — peer failures degrade to a local compute.
+	L2 L2Tier
 	// AnalyzeFunc computes one query; defaults to a core.EvaluatorPool
 	// whose pooled workspaces give every sweep worker an allocation-free
 	// engine (reducing to core.Analyze semantics for domain-free fleets).
@@ -72,6 +77,7 @@ type Server struct {
 	ocache  *qcache.Cache[OptimizeResponse]
 	tcache  *qcache.Cache[TailResponse]
 	memo    atomic.Pointer[memoEntry]
+	l2      L2Tier
 	analyze func(core.Fleet, core.CountModel, core.DomainSet) (core.Result, error)
 	workers int
 	sem     chan struct{}
@@ -172,9 +178,10 @@ func New(opts Options) *Server {
 		opts.AnalyzeFunc = core.NewEvaluatorPool().AnalyzeDomains
 	}
 	s := &Server{
-		cache:     qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards),
-		ocache:    qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards),
-		tcache:    qcache.New[TailResponse](opts.TailCacheCapacity, opts.CacheShards),
+		cache:     qcache.New[AnalyzeResponse](opts.CacheCapacity, opts.CacheShards).WithSizer(sizeofAnalyzeResponse),
+		ocache:    qcache.New[OptimizeResponse](opts.OptimizeCacheCapacity, opts.CacheShards).WithSizer(sizeofOptimizeResponse),
+		tcache:    qcache.New[TailResponse](opts.TailCacheCapacity, opts.CacheShards).WithSizer(sizeofTailResponse),
+		l2:        opts.L2,
 		analyze:   opts.AnalyzeFunc,
 		workers:   opts.Workers,
 		sem:       make(chan struct{}, opts.Workers),
@@ -194,7 +201,32 @@ func New(opts Options) *Server {
 	})
 	s.m = newServerMetrics(s.reg, s)
 	s.m.workers.Set(int64(opts.Workers))
+	if s.l2 != nil {
+		s.m.l2Peers.Set(int64(len(s.l2.Peers())))
+	}
 	return s
+}
+
+// Cache value sizers: cheap estimates of each response's compact-JSON
+// footprint (fixed fields plus the variable-length strings), feeding the
+// byte-occupancy stats that size L2 transfers and -cache-dump files
+// without marshaling on the insert path.
+
+func sizeofAnalyzeResponse(r AnalyzeResponse) int {
+	return 176 + len(r.Model) + len(r.Fingerprint) +
+		len(r.Percent.Safe) + len(r.Percent.Live) + len(r.Percent.SafeAndLive)
+}
+
+func sizeofOptimizeResponse(r OptimizeResponse) int {
+	n := 320 + len(r.Model) + len(r.Target) + len(r.Fingerprint)
+	for _, a := range r.Allocation {
+		n += 72 + len(a.Name)
+	}
+	return n
+}
+
+func sizeofTailResponse(r TailResponse) int {
+	return 224 + len(r.Model) + len(r.Event) + len(r.Method) + len(r.Fingerprint)
 }
 
 // traceCounterNames are the process-global engine counters every trace
@@ -318,11 +350,19 @@ func (s *Server) analyzeTraced(req AnalyzeRequest, tr *obs.Trace) (AnalyzeRespon
 //
 // tr may be nil (recording is then a no-op). The returned outcome is
 // the cache verdict for the debug block and the hit/miss latency split:
-// "l1_hit", "miss" (this call ran the engine), or "coalesced" (an
-// identical in-flight computation was shared). Cache-pressure events
-// (evictions this insert caused, coalesced waits) land on the trace via
-// the qcache event hook.
+// "l1_hit", "l2_hit" (the owning peer answered), "miss" (this call ran
+// the engine), or "coalesced" (an identical in-flight computation was
+// shared). Cache-pressure events (evictions this insert caused,
+// coalesced waits) land on the trace via the qcache event hook.
 func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.DomainSet, tr *obs.Trace) (AnalyzeResponse, string, error) {
+	return s.analyzeQueryTier(fleet, m, domains, tr, true)
+}
+
+// analyzeQueryTier is analyzeQuery with the L2 consultation switchable:
+// the peer-serving path (L2Exec) computes with allowL2=false, so an
+// ownership disagreement between peers degrades to a local compute
+// instead of an RPC loop.
+func (s *Server) analyzeQueryTier(fleet core.Fleet, m core.CountModel, domains core.DomainSet, tr *obs.Trace, allowL2 bool) (AnalyzeResponse, string, error) {
 	qstart := time.Now()
 	fp, err := core.FleetModelDomainsFingerprint(fleet, m, domains)
 	if err != nil {
@@ -330,8 +370,17 @@ func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.
 	}
 	tr.Since("fingerprint", qstart)
 	lstart := time.Now()
-	computed := false
+	computed, l2hit := false, false
 	resp, cached, err := s.cache.DoEvents(fp.String(), recorder(tr), func() (AnalyzeResponse, error) {
+		// The tier consultation runs inside the singleflight but before a
+		// worker slot is taken: a peer wait must not pin an engine worker,
+		// and the owner's answer means no local engine work at all.
+		if allowL2 && s.l2 != nil {
+			if r, ok := s.l2Fetch(fp.String(), fleet, m, domains, tr); ok {
+				l2hit = true
+				return r, nil
+			}
+		}
 		computed = true
 		s.sem <- struct{}{}
 		defer func() { <-s.sem }()
@@ -357,13 +406,19 @@ func (s *Server) analyzeQuery(fleet core.Fleet, m core.CountModel, domains core.
 	case cached:
 		outcome = "l1_hit"
 		s.m.analyzeHit.ObserveSince(qstart)
+	case l2hit:
+		outcome = "l2_hit"
+		s.m.analyzeHit.ObserveSince(qstart)
 	case computed:
 		s.m.analyzeMiss.ObserveSince(qstart)
 	default:
 		outcome = "coalesced"
 		s.m.analyzeMiss.ObserveSince(qstart)
 	}
-	resp.Cached = cached
+	// A tier answer is a cache hit from the caller's point of view: some
+	// member's cache (or singleflight) produced it without local engine
+	// work. The value stored in L1 stays Cached=false, like any insert.
+	resp.Cached = cached || l2hit
 	return resp, outcome, nil
 }
 
@@ -579,6 +634,7 @@ type RequestStats struct {
 	Tables   int64 `json:"tables"`
 	Optimize int64 `json:"optimize"`
 	Tail     int64 `json:"tail"`
+	Batch    int64 `json:"batch"`
 }
 
 // MemoStats counts L0 most-recent-query memo hits.
@@ -609,6 +665,11 @@ type StatsResponse struct {
 	// recorder, slowest first — the pivot from a latency histogram spike
 	// to a concrete request ID resolvable via GET /v1/traces.
 	Slowest []SlowestView `json:"slowest"`
+	// Batch counts POST /v1/batch item traffic.
+	Batch BatchStats `json:"batch"`
+	// L2 reports the fleet cache tier, present only when one is
+	// configured (Options.L2 / -peers).
+	L2 *L2Stats `json:"l2,omitempty"`
 }
 
 // SlowestView is one /statsz "slowest" row.
@@ -640,6 +701,7 @@ func (s *Server) Stats() StatsResponse {
 			Tables:   s.m.reqTables.Load(),
 			Optimize: s.m.reqOptimize.Load(),
 			Tail:     s.m.reqTail.Load(),
+			Batch:    s.m.reqBatch.Load(),
 		},
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Latency: map[string]LatencySummary{
@@ -648,8 +710,11 @@ func (s *Server) Stats() StatsResponse {
 			"optimize": summarize(s.m.endpoints["optimize"].latency),
 			"tables":   summarize(s.m.endpoints["tables"].latency),
 			"tail":     summarize(s.m.endpoints["tail"].latency),
+			"batch":    summarize(s.m.endpoints["batch"].latency),
 		},
 		Slowest: s.slowestViews(statszSlowestN),
+		Batch:   s.batchStats(),
+		L2:      s.l2Stats(),
 	}
 }
 
@@ -663,6 +728,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/optimize", s.instrument("optimize", s.handleOptimize))
 	mux.HandleFunc("/v1/tables", s.instrument("tables", s.handleTables))
 	mux.HandleFunc("/v1/tail", s.instrument("tail", s.handleTail))
+	mux.HandleFunc("/v1/batch", s.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/v1/traces", s.instrument("traces", s.handleTraces))
 	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("/statsz", s.instrument("statsz", s.handleStatsz))
@@ -690,7 +756,13 @@ func (s *Server) MetricFamilies() []obs.FamilyInfo {
 const maxBodyBytes = 1 << 20
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	return decodeJSONLimit(w, r, v, maxBodyBytes)
+}
+
+// decodeJSONLimit is decodeJSON with a caller-chosen body bound — the
+// batch endpoint carries many requests in one body.
+func decodeJSONLimit(w http.ResponseWriter, r *http.Request, v any, limit int64) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return badRequest(fmt.Errorf("bad JSON body: %w", err))
